@@ -1,0 +1,193 @@
+(* torda-sim: command-line driver for the directory-protocol simulator.
+
+     torda-sim run --protocol ours --relays 8000 --attack flood
+     torda-sim cost --relays 8000
+     torda-sim log --relays 8000 --node 8 *)
+
+open Cmdliner
+module R = Protocols.Runenv
+module E = Torpartial.Experiments
+
+(* --- shared arguments ------------------------------------------------------ *)
+
+let protocol_arg =
+  let parse = function
+    | "current" -> Ok E.Current
+    | "synchronous" | "sync" -> Ok E.Synchronous
+    | "ours" | "partial" -> Ok E.Ours
+    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (E.protocol_name p) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) E.Ours
+    & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+        ~doc:"Protocol to simulate: $(b,current), $(b,synchronous), or $(b,ours).")
+
+let relays_arg =
+  Arg.(
+    value
+    & opt int 8000
+    & info [ "r"; "relays" ] ~docv:"N" ~doc:"Number of relays in the synthetic network.")
+
+let bandwidth_arg =
+  Arg.(
+    value
+    & opt float 250.
+    & info [ "b"; "bandwidth" ] ~docv:"MBIT"
+        ~doc:"Authority link bandwidth in Mbit/s (default 250, the live value).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt string "torda-sim"
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic simulation seed.")
+
+type attack_kind = No_attack | Flood | Knockout
+
+let attack_arg =
+  let parse = function
+    | "none" -> Ok No_attack
+    | "flood" -> Ok Flood
+    | "knockout" -> Ok Knockout
+    | s -> Error (`Msg (Printf.sprintf "unknown attack %S" s))
+  in
+  let print ppf = function
+    | No_attack -> Format.pp_print_string ppf "none"
+    | Flood -> Format.pp_print_string ppf "flood"
+    | Knockout -> Format.pp_print_string ppf "knockout"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) No_attack
+    & info [ "a"; "attack" ] ~docv:"KIND"
+        ~doc:
+          "DDoS on 5 of 9 authorities for the first 300 s: $(b,none), $(b,flood) \
+           (0.5 Mbit/s residual), or $(b,knockout) (fully offline).")
+
+let make_env ~seed ~relays ~bandwidth ~attack =
+  let attacks =
+    match attack with
+    | No_attack -> []
+    | Flood -> Attack.Ddos.bandwidth_attack ~n:9 ()
+    | Knockout -> Attack.Ddos.knockout ~n:9 ()
+  in
+  R.make ~seed ~n_relays:relays ~bandwidth_bits_per_sec:(bandwidth *. 1e6) ~attacks
+    ~horizon:7200. ()
+
+(* --- run ------------------------------------------------------------------- *)
+
+let run_cmd =
+  let action protocol relays bandwidth seed attack =
+    let env = make_env ~seed ~relays ~bandwidth ~attack in
+    let result = E.run_protocol protocol env in
+    Printf.printf "protocol:  %s\n" result.R.protocol;
+    Printf.printf "relays:    %d\n" relays;
+    Printf.printf "bandwidth: %.1f Mbit/s\n" bandwidth;
+    Printf.printf "success:   %b\n" (R.success env result);
+    (match R.success_latency result with
+    | Some t -> Printf.printf "latency:   %.1f s\n" t
+    | None -> print_endline "latency:   (no consensus)");
+    Printf.printf "traffic:   %.1f MB total on the wire\n"
+      (float_of_int (Tor_sim.Stats.total_bytes_sent result.R.stats) /. 1e6);
+    if R.success env result then 0 else 1
+  in
+  let term = Term.(const action $ protocol_arg $ relays_arg $ bandwidth_arg $ seed_arg $ attack_arg) in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one consensus instance of a directory protocol.")
+    term
+
+(* --- log ------------------------------------------------------------------- *)
+
+let log_cmd =
+  let node_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "node" ] ~docv:"ID" ~doc:"Authority whose log to print (default 8).")
+  in
+  let action protocol relays bandwidth seed attack node =
+    let env = make_env ~seed ~relays ~bandwidth ~attack in
+    let result = E.run_protocol protocol env in
+    print_endline (Tor_sim.Trace.dump ~node result.R.trace);
+    0
+  in
+  let term =
+    Term.(
+      const action $ protocol_arg $ relays_arg $ bandwidth_arg $ seed_arg $ attack_arg
+      $ node_arg)
+  in
+  Cmd.v
+    (Cmd.info "log" ~doc:"Print one authority's Tor-style log for a simulated run.")
+    term
+
+(* --- cost ------------------------------------------------------------------- *)
+
+let cost_cmd =
+  let required_arg =
+    Arg.(
+      value
+      & opt float 10.
+      & info [ "required" ] ~docv:"MBIT"
+          ~doc:"Bandwidth the protocol needs per authority (Figure 7).")
+  in
+  let action relays required =
+    let plan = Attack.Planner.make ~n_relays:relays ~required_mbit_per_sec:required () in
+    Format.printf "%a@." Attack.Planner.pp plan;
+    0
+  in
+  let term = Term.(const action $ relays_arg $ required_arg) in
+  Cmd.v (Cmd.info "cost" ~doc:"Price the DDoS attack for a given network size.") term
+
+(* --- scenario ------------------------------------------------------------- *)
+
+let scenario_cmd =
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Scenario file to run (see $(b,--example)).")
+  in
+  let example_arg =
+    Arg.(
+      value & flag
+      & info [ "example" ] ~doc:"Print an example scenario file and exit.")
+  in
+  let action file example =
+    if example then begin
+      print_string Torpartial.Scenario.default_text;
+      0
+    end
+    else
+      match file with
+      | None ->
+          prerr_endline "scenario: FILE required (or --example)";
+          2
+      | Some path -> (
+          let ic = open_in path in
+          let len = in_channel_length ic in
+          let text = really_input_string ic len in
+          close_in ic;
+          match Torpartial.Scenario.parse text with
+          | Error e ->
+              Printf.eprintf "scenario: %s\n" e;
+              2
+          | Ok scenario ->
+              let result = Torpartial.Scenario.run scenario in
+              let env = scenario.Torpartial.Scenario.env in
+              Printf.printf "protocol: %s\n" result.R.protocol;
+              Printf.printf "success:  %b\n" (R.success env result);
+              (match R.success_latency result with
+              | Some t -> Printf.printf "latency:  %.1f s\n" t
+              | None -> print_endline "latency:  (no consensus)");
+              if R.success env result then 0 else 1)
+  in
+  let term = Term.(const action $ file_arg $ example_arg) in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run a simulation described by a scenario file.")
+    term
+
+let () =
+  let doc = "Tor directory protocol simulator (EUROSYS '26 reproduction)" in
+  let info = Cmd.info "torda-sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; log_cmd; cost_cmd; scenario_cmd ]))

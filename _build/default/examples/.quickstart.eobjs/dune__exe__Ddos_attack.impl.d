@@ -1,0 +1,1 @@
+examples/ddos_attack.ml: Attack Printf Protocols Tor_sim Torpartial

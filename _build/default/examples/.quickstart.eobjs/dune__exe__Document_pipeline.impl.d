@@ -1,0 +1,1 @@
+examples/document_pipeline.ml: Array Crypto Dirdoc List Printf String Tor_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Crypto Dirdoc Printf Protocols String Torpartial

@@ -1,0 +1,1 @@
+examples/sustained_attack.ml: List Printf String Torclient Torpartial

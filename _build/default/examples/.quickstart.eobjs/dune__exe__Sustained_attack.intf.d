@@ -1,0 +1,1 @@
+examples/sustained_attack.mli:

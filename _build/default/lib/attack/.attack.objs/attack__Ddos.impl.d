@@ -1,0 +1,1 @@
+lib/attack/ddos.ml: Fun List Option Protocols

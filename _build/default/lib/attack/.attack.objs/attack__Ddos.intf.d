@@ -1,0 +1,1 @@
+lib/attack/ddos.mli: Protocols Tor_sim

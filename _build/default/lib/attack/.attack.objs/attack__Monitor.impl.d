@@ -1,0 +1,1 @@
+lib/attack/monitor.ml: Char Format Hashtbl List String Tor_sim

@@ -1,0 +1,1 @@
+lib/attack/monitor.mli: Format Tor_sim

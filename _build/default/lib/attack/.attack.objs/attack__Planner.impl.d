@@ -1,0 +1,1 @@
+lib/attack/planner.ml: Cost Format

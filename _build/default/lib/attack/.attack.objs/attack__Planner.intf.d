@@ -1,0 +1,1 @@
+lib/attack/planner.mli: Cost Format

@@ -1,0 +1,29 @@
+let usd_per_mbit_per_hour = 0.00074
+
+let flood_usd ~mbit_per_sec ~targets ~seconds =
+  if mbit_per_sec < 0. || targets < 0 || seconds < 0. then
+    invalid_arg "Cost.flood_usd: negative input";
+  usd_per_mbit_per_hour *. mbit_per_sec *. float_of_int targets *. (seconds /. 3600.)
+
+type instance = {
+  targets : int;
+  flood_mbit_per_sec : float;
+  seconds : float;
+  usd : float;
+}
+
+let break_one_run ?(link_mbit_per_sec = 250.) ?(required_mbit_per_sec = 10.)
+    ?(targets = 5) ?(seconds = 300.) () =
+  let flood = link_mbit_per_sec -. required_mbit_per_sec in
+  if flood < 0. then invalid_arg "Cost.break_one_run: required exceeds link";
+  {
+    targets;
+    flood_mbit_per_sec = flood;
+    seconds;
+    usd = flood_usd ~mbit_per_sec:flood ~targets ~seconds;
+  }
+
+let monthly_usd instance = instance.usd *. 24. *. 30.
+
+let jansen_bridges_monthly_usd = 17_000.
+let jansen_scanners_monthly_usd = 2_800.

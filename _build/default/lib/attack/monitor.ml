@@ -1,0 +1,87 @@
+type verdict =
+  | Healthy
+  | Degraded of { fetch_failures : int }
+  | Attack_suspected of {
+      authorities_missing_votes : int;
+      fetch_failures : int;
+      failed_authorities : int;
+    }
+
+type report = {
+  verdict : verdict;
+  missing_notices : int;
+  fetch_failures : int;
+  consensus_failures : int;
+}
+
+let find_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub haystack i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains ~needle haystack = find_substring ~needle haystack <> None
+
+(* "We're missing votes from K authorities (...)": extract K. *)
+let missing_count text =
+  let prefix = "We're missing votes from " in
+  match find_substring ~needle:prefix text with
+  | None -> 0
+  | Some i ->
+      let rec scan j acc =
+        if j < String.length text && text.[j] >= '0' && text.[j] <= '9' then
+          scan (j + 1) ((acc * 10) + (Char.code text.[j] - Char.code '0'))
+        else acc
+      in
+      scan (i + String.length prefix) 0
+
+let analyze trace =
+  let records = Tor_sim.Trace.records trace in
+  let missing_notices = ref 0 in
+  let max_missing = ref 0 in
+  let fetch_failures = ref 0 in
+  let failed : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Tor_sim.Trace.record) ->
+      if contains ~needle:"We're missing votes from" r.Tor_sim.Trace.text then begin
+        incr missing_notices;
+        max_missing := max !max_missing (missing_count r.Tor_sim.Trace.text)
+      end;
+      if contains ~needle:"Giving up downloading votes" r.Tor_sim.Trace.text then
+        incr fetch_failures;
+      if contains ~needle:"We don't have enough votes" r.Tor_sim.Trace.text then
+        match r.Tor_sim.Trace.node with
+        | Some node -> Hashtbl.replace failed node ()
+        | None -> ())
+    records;
+  let consensus_failures = Hashtbl.length failed in
+  let verdict =
+    if consensus_failures > 0 then
+      Attack_suspected
+        {
+          authorities_missing_votes = !max_missing;
+          fetch_failures = !fetch_failures;
+          failed_authorities = consensus_failures;
+        }
+    else if !fetch_failures > 0 then Degraded { fetch_failures = !fetch_failures }
+    else Healthy
+  in
+  {
+    verdict;
+    missing_notices = !missing_notices;
+    fetch_failures = !fetch_failures;
+    consensus_failures;
+  }
+
+let pp_verdict ppf = function
+  | Healthy -> Format.pp_print_string ppf "healthy"
+  | Degraded { fetch_failures } ->
+      Format.fprintf ppf "degraded (%d fetch failures)" fetch_failures
+  | Attack_suspected { authorities_missing_votes; fetch_failures; failed_authorities } ->
+      Format.fprintf ppf
+        "ATTACK SUSPECTED: up to %d votes missing, %d fetch failures, %d authorities \
+         failed to compute a consensus"
+        authorities_missing_votes fetch_failures failed_authorities

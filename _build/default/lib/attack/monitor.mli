@@ -1,0 +1,34 @@
+(** Consensus-health monitoring — the "emergency fix" deployed after
+    Luo et al.'s disclosure (paper Table 1: "Attacks Monitored").
+
+    The live consensus-health monitor watches the authorities' logs
+    and the published vote set; it cannot {e prevent} the DDoS attack,
+    but it detects a run that is failing while it is still in
+    progress.  This module implements the detection side over a
+    simulation {!Tor_sim.Trace}: it scans for missing-vote notices,
+    directory-connection failures, and not-enough-votes warnings, and
+    classifies the run. *)
+
+type verdict =
+  | Healthy
+  | Degraded of { fetch_failures : int }
+      (** some fetches failed, but consensus was still computed *)
+  | Attack_suspected of {
+      authorities_missing_votes : int;  (** max missing-votes count seen *)
+      fetch_failures : int;
+      failed_authorities : int;  (** authorities that could not compute *)
+    }
+
+type report = {
+  verdict : verdict;
+  missing_notices : int;
+  fetch_failures : int;
+  consensus_failures : int;
+}
+
+val analyze : Tor_sim.Trace.t -> report
+(** Scan a run's trace.  [Attack_suspected] when any authority
+    reported missing votes {e and} failed to compute a consensus;
+    [Degraded] when fetches failed but every authority recovered. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,1 @@
+lib/client/circuit.ml: Array Dirdoc List Result String Tor_sim

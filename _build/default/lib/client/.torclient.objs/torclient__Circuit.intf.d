@@ -1,0 +1,1 @@
+lib/client/circuit.mli: Dirdoc Tor_sim

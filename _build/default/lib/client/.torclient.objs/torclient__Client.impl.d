@@ -1,0 +1,1 @@
+lib/client/client.ml: Circuit Crypto Dirdoc Directory Option Result

@@ -1,0 +1,1 @@
+lib/client/client.mli: Circuit Crypto Dirdoc Directory Tor_sim

@@ -1,0 +1,1 @@
+lib/client/consdiff.ml: Array Buffer Crypto Float List String

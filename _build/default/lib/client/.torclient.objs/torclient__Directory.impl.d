@@ -1,0 +1,1 @@
+lib/client/directory.ml: Crypto Dirdoc Int List Printf

@@ -1,0 +1,1 @@
+lib/client/directory.mli: Crypto Dirdoc

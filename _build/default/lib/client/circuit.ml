@@ -1,0 +1,77 @@
+module Flags = Dirdoc.Flags
+module Consensus = Dirdoc.Consensus
+
+type t = {
+  guard : Consensus.entry;
+  middle : Consensus.entry;
+  exit : Consensus.entry;
+}
+
+type error = No_guard | No_middle | No_exit
+
+let error_to_string = function
+  | No_guard -> "no eligible guard relay"
+  | No_middle -> "no eligible middle relay"
+  | No_exit -> "no relay's exit policy allows the destination port"
+
+let entries c = Array.to_list c.Consensus.entries
+
+let runs_and_valid (e : Consensus.entry) =
+  Flags.mem Flags.Running e.flags && Flags.mem Flags.Valid e.flags
+
+let eligible_guards c =
+  List.filter
+    (fun (e : Consensus.entry) ->
+      runs_and_valid e && Flags.mem Flags.Guard e.flags && Flags.mem Flags.Stable e.flags)
+    (entries c)
+
+let eligible_exits ~port c =
+  List.filter
+    (fun (e : Consensus.entry) ->
+      runs_and_valid e
+      && Flags.mem Flags.Exit e.flags
+      && (not (Flags.mem Flags.BadExit e.flags))
+      && Dirdoc.Exit_policy.allows_port e.exit_policy port)
+    (entries c)
+
+let eligible_middles c = List.filter runs_and_valid (entries c)
+
+let bandwidth_weighted ~rng candidates =
+  match candidates with
+  | [] -> None
+  | _ ->
+      let total =
+        List.fold_left (fun acc (e : Consensus.entry) -> acc + e.bandwidth) 0 candidates
+      in
+      if total <= 0 then Some (List.nth candidates (Tor_sim.Rng.int rng (List.length candidates)))
+      else begin
+        let target = Tor_sim.Rng.int rng total in
+        let rec pick acc = function
+          | [] -> None (* unreachable: total > 0 *)
+          | (e : Consensus.entry) :: rest ->
+              let acc = acc + e.bandwidth in
+              if target < acc then Some e else pick acc rest
+        in
+        pick 0 candidates
+      end
+
+let distinct_from chosen (e : Consensus.entry) =
+  List.for_all
+    (fun (c : Consensus.entry) -> not (String.equal c.fingerprint e.fingerprint))
+    chosen
+
+let ( let* ) r f = Result.bind r f
+
+let pick_position ~rng ~taken ~error candidates =
+  match bandwidth_weighted ~rng (List.filter (distinct_from taken) candidates) with
+  | Some e -> Ok e
+  | None -> Error error
+
+let build ~rng ~port c =
+  (* Exit first (scarcest position), then guard, then middle. *)
+  let* exit = pick_position ~rng ~taken:[] ~error:No_exit (eligible_exits ~port c) in
+  let* guard = pick_position ~rng ~taken:[ exit ] ~error:No_guard (eligible_guards c) in
+  let* middle =
+    pick_position ~rng ~taken:[ exit; guard ] ~error:No_middle (eligible_middles c)
+  in
+  Ok { guard; middle; exit }

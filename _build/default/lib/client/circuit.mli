@@ -1,0 +1,43 @@
+(** Three-hop circuit construction over a consensus document.
+
+    This is why consensus freshness matters (the paper's §1): a client
+    picks a guard, a middle, and an exit — bandwidth-weighted, with
+    position constraints and basic relay-diversity rules — from the
+    relay list the consensus certifies.  Three relays under one
+    operator deanonymize the user, so the selection must draw from a
+    large, current population. *)
+
+type t = {
+  guard : Dirdoc.Consensus.entry;
+  middle : Dirdoc.Consensus.entry;
+  exit : Dirdoc.Consensus.entry;
+}
+
+type error =
+  | No_guard
+  | No_middle
+  | No_exit   (** no relay's policy allows the destination port *)
+
+val error_to_string : error -> string
+
+val eligible_guards : Dirdoc.Consensus.t -> Dirdoc.Consensus.entry list
+(** Running + Valid + Guard + Stable. *)
+
+val eligible_exits : port:int -> Dirdoc.Consensus.t -> Dirdoc.Consensus.entry list
+(** Running + Valid + Exit, not BadExit, and the exit-policy summary
+    allows [port]. *)
+
+val eligible_middles : Dirdoc.Consensus.t -> Dirdoc.Consensus.entry list
+(** Running + Valid. *)
+
+val build :
+  rng:Tor_sim.Rng.t -> port:int -> Dirdoc.Consensus.t -> (t, error) result
+(** Pick exit, then guard, then middle, each bandwidth-weighted and
+    distinct from the hops already chosen.  Positions are filled in
+    Tor's order (exit first, since exits are scarcest). *)
+
+val bandwidth_weighted :
+  rng:Tor_sim.Rng.t -> Dirdoc.Consensus.entry list -> Dirdoc.Consensus.entry option
+(** Select one entry with probability proportional to its consensus
+    bandwidth ([None] on an empty list; uniform if all bandwidths are
+    zero). *)

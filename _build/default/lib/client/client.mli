@@ -1,0 +1,31 @@
+(** A minimal Tor client's directory state machine.
+
+    Holds the most recent verified consensus and answers the question
+    the whole paper turns on: {e can this client still build circuits
+    right now?}  A client goes dark once its newest verified document
+    is more than three hours old — which is exactly what a sustained
+    hourly DDoS on the directory protocol causes. *)
+
+type t
+
+val create : keyring:Crypto.Keyring.t -> n_authorities:int -> t
+
+val offer : t -> now:float -> Directory.signed_consensus -> (unit, string) result
+(** Present a downloaded document.  It is adopted iff it verifies
+    ({!Directory.verify}), is not expired at [now], and is newer than
+    what the client already holds; otherwise an explanatory error is
+    returned and the state is unchanged. *)
+
+val current : t -> Dirdoc.Consensus.t option
+(** The newest adopted document. *)
+
+val status : t -> now:float -> Directory.freshness option
+(** Freshness of the held document ([None] if bootstrapping). *)
+
+val can_build_circuits : t -> now:float -> bool
+(** The client holds a usable (non-expired) consensus. *)
+
+val build_circuit :
+  t -> now:float -> rng:Tor_sim.Rng.t -> port:int -> (Circuit.t, string) result
+(** Build a three-hop circuit to a destination port, failing if the
+    consensus is expired or lacks eligible relays. *)

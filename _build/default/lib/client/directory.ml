@@ -1,0 +1,38 @@
+type signed_consensus = {
+  consensus : Dirdoc.Consensus.t;
+  signatures : Crypto.Signature.t list;
+}
+
+let make keyring consensus ~signers =
+  let payload = Dirdoc.Consensus.signing_payload consensus in
+  {
+    consensus;
+    signatures = List.map (fun signer -> Crypto.Signature.sign keyring ~signer payload) signers;
+  }
+
+let verify keyring ~n_authorities { consensus; signatures } =
+  let payload = Dirdoc.Consensus.signing_payload consensus in
+  let valid_signers =
+    List.filter_map
+      (fun s ->
+        if Crypto.Signature.verify keyring s payload then Some s.Crypto.Signature.signer
+        else None)
+      signatures
+    |> List.sort_uniq Int.compare
+  in
+  let need = (n_authorities / 2) + 1 in
+  if List.length valid_signers >= need then Ok ()
+  else
+    Error
+      (Printf.sprintf "consensus has %d valid signatures, need %d"
+         (List.length valid_signers) need)
+
+type freshness = Fresh | Stale | Expired
+
+let freshness ~now (c : Dirdoc.Consensus.t) =
+  if Dirdoc.Consensus.is_fresh c ~now then Fresh
+  else if Dirdoc.Consensus.is_valid c ~now then Stale
+  else Expired
+
+let usable ~now c =
+  match freshness ~now c with Fresh | Stale -> true | Expired -> false

@@ -1,0 +1,32 @@
+(** Client-side consensus-document validation.
+
+    A Tor client accepts a consensus document only if a majority of
+    the directory authorities signed the same digest — the property the
+    directory protocol labours to provide, and the reason a failed run
+    leaves clients with nothing to use. *)
+
+type signed_consensus = {
+  consensus : Dirdoc.Consensus.t;
+  signatures : Crypto.Signature.t list;
+}
+
+val make :
+  Crypto.Keyring.t -> Dirdoc.Consensus.t -> signers:int list -> signed_consensus
+(** Sign a document as each of [signers]; a test/workload helper
+    standing in for the authorities' signature exchange. *)
+
+val verify :
+  Crypto.Keyring.t -> n_authorities:int -> signed_consensus -> (unit, string) result
+(** Accept iff at least a majority of the [n_authorities] produced
+    valid, distinct signatures on this document's signing payload. *)
+
+(** Client freshness rules (dir-spec; Section 3.1 of the paper). *)
+type freshness =
+  | Fresh    (** younger than 1 h: use normally *)
+  | Stale    (** 1-3 h old: usable, clients should try to refresh *)
+  | Expired  (** older than 3 h: must not be used — Tor is down *)
+
+val freshness : now:float -> Dirdoc.Consensus.t -> freshness
+
+val usable : now:float -> Dirdoc.Consensus.t -> bool
+(** [Fresh] or [Stale]. *)

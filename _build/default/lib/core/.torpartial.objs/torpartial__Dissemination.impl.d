@@ -1,0 +1,1 @@
+lib/core/dissemination.ml: Array Crypto Hashtbl Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Attack Crypto Dirdoc Hashtbl List Option Protocol Protocols Tor_sim Torclient

@@ -1,0 +1,1 @@
+lib/core/outage.ml: Array Attack Crypto Dirdoc Experiments Fun List Printf Protocols Torclient

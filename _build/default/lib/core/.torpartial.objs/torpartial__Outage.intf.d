@@ -1,0 +1,1 @@
+lib/core/outage.mli: Experiments Torclient

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Crypto Dirdoc Dissemination Fun Icps List Protocols Tor_sim

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Attack Experiments List Option Printf Protocols Result String

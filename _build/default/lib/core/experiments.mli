@@ -1,0 +1,145 @@
+(** Experiment harnesses for every table and figure in the paper's
+    evaluation.  Each function runs the relevant simulations and
+    returns plain data; `bench/main.exe` formats the rows, and the
+    property tests reuse the same entry points.  DESIGN.md §4 maps
+    each experiment to its paper counterpart. *)
+
+type protocol = Current | Synchronous | Ours
+
+val protocol_name : protocol -> string
+
+val run_protocol : protocol -> Protocols.Runenv.t -> Protocols.Runenv.run_result
+
+val default_seed : string
+(** Seed used by every experiment ("torpartial"); change it to check
+    seed-independence. *)
+
+val default_relay_counts : int list
+(** 1000-10000 in steps of 1000 — the x-axis of Figures 7 and 10. *)
+
+val default_bandwidths : float list
+(** 50, 20, 10, 1, 0.5 Mbit/s — the bandwidth settings of Figure 10. *)
+
+(** {1 Figure 1 — authority log under attack} *)
+
+val fig1 : ?n_relays:int -> unit -> string
+(** Run the current protocol with 5 authorities flooded during the
+    vote window and return an unattacked authority's Tor-style log —
+    the Figure 1 reproduction. *)
+
+(** {1 Figure 6 — relay census} *)
+
+val fig6 : unit -> (string * float) list * float
+(** Monthly relay-count series (Sep 2022 - Oct 2024) and its mean
+    (recentred to the paper's 7141.79). *)
+
+(** {1 Figure 7 — bandwidth requirement} *)
+
+val fig7 :
+  ?relay_counts:int list -> ?precision_mbit:float -> unit -> (int * float) list
+(** For each relay count, binary-search the minimum bandwidth
+    (Mbit/s) the 5 attacked authorities need for the current protocol
+    to still succeed.  Default counts: 1000-10000 in steps of 1000. *)
+
+(** {1 Figure 10 — latency under bandwidth constraints} *)
+
+type fig10_cell = {
+  protocol : protocol;
+  bandwidth_mbit : float;
+  n_relays : int;
+  latency : float option; (** None = failed to produce a consensus *)
+}
+
+val fig10 :
+  ?bandwidths_mbit:float list -> ?relay_counts:int list -> unit -> fig10_cell list
+(** The full grid of Figure 10: all three protocols at every
+    bandwidth x relay-count combination (defaults: 50, 20, 10, 1,
+    0.5 Mbit/s x 1000-10000). *)
+
+(** {1 Figure 11 — recovery from a 5-minute knockout} *)
+
+type fig11_row = { protocol : protocol; total_latency : float option }
+
+val fig11 : ?n_relays:int -> unit -> fig11_row list
+(** 5 authorities fully offline for the first 300 s, 250 Mbit/s
+    otherwise.  For the lock-step baselines the run fails and the
+    fallback applies: 2100 s (25 min wait for the next scheduled run
+    plus the 10-minute protocol), the constant the paper reports. *)
+
+val baseline_fallback_seconds : float
+(** 2100 s. *)
+
+(** {1 Table 1 — communication complexity} *)
+
+type table1_row = {
+  protocol : protocol;
+  n : int;
+  n_relays : int;
+  total_bytes : int;    (** measured bytes on the simulated wire *)
+  bytes_by_label : (string * int) list;
+}
+
+val table1 :
+  ?n_values:int list -> ?relay_counts:int list -> unit -> table1_row list
+(** Measured traffic for each protocol while sweeping [n] at fixed
+    document size and the document size at fixed [n = 9]; the bench
+    prints these next to the asymptotic formulas of Table 1. *)
+
+(** {1 Table 2 — round complexity} *)
+
+type table2_row = {
+  sub_protocol : string;
+  rounds : int;          (** structural rounds, as in Table 2 *)
+}
+
+val table2 : unit -> table2_row list * float
+(** The structural round counts (dissemination 2, agreement 5,
+    aggregation 2) plus an empirical check: the good-case decision
+    time of our protocol on a uniform-latency network divided by the
+    one-way latency — which should be close to the total round
+    count. *)
+
+(** {1 Section 4.3 — attack cost} *)
+
+val cost_rows : unit -> (string * float) list
+(** Named cost figures: one-run cost, monthly cost, and the Jansen et
+    al. comparison points. *)
+
+(** {1 Complexity fits (Table 1 verification)} *)
+
+val table1_fits : table1_row list -> (protocol * Tor_sim.Summary.fit) list
+(** Power-law fit of total bytes against [n] (at fixed document size)
+    per protocol; the slope is the measured exponent to compare with
+    Table 1's d-term (current/ours ≈ 2, synchronous ≈ 3). *)
+
+(** {1 Ablations (design-choice sweeps from DESIGN.md §5)} *)
+
+val recovery_vs_view_timeout :
+  ?timeouts:float list -> ?n_relays:int -> unit -> (float * float option) list
+(** Figure 11 scenario swept over the HotStuff pacemaker timeout:
+    recovery latency after the attack ends, per timeout setting. *)
+
+val latency_vs_doc_timeout :
+  ?timeouts:float list -> ?n_relays:int -> unit -> (float * float option) list
+(** Happy-path-with-2-silent-authorities latency swept over the
+    dissemination wait Δ: with silent authorities, a node may not see
+    all n documents and must wait Δ before proposing with n - f, so Δ
+    bounds the latency directly. *)
+
+type engine_row = {
+  engine : string;         (** agreement engine name *)
+  scenario : string;       (** "healthy" or "knockout" *)
+  engine_latency : float option;
+  agreement_bytes : int;   (** bytes attributed to agreement messages *)
+}
+
+val agreement_engines : ?n_relays:int -> unit -> engine_row list
+(** The paper's §5.2.2 pluggability claim, measured: the same
+    dissemination/aggregation sub-protocols over HotStuff (linear,
+    leader-relayed votes), Tendermint, and PBFT (both all-to-all), in
+    the healthy and 300 s-knockout scenarios. *)
+
+val consdiff_savings : ?n_relays:int -> ?hours:int -> unit -> (int * float) list
+(** Per consensus hour over a churning relay population: the fraction
+    of client download saved by fetching a consensus diff instead of
+    the full document (Tor's consdiff mechanism). *)

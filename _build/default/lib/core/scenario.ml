@@ -1,0 +1,148 @@
+module Runenv = Protocols.Runenv
+
+type t = { protocol : Experiments.protocol; env : Runenv.t }
+
+type draft = {
+  mutable protocol : Experiments.protocol;
+  mutable relays : int;
+  mutable bandwidth_mbit : float;
+  mutable seed : string;
+  mutable horizon : float;
+  mutable behaviors : (int * Runenv.behavior) list;
+  mutable attacks : Runenv.attack list;
+}
+
+let fresh_draft () =
+  {
+    protocol = Experiments.Ours;
+    relays = 1000;
+    bandwidth_mbit = 250.;
+    seed = "scenario";
+    horizon = 7200.;
+    behaviors = [];
+    attacks = [];
+  }
+
+let ( let* ) = Result.bind
+
+let parse_protocol = function
+  | "current" -> Ok Experiments.Current
+  | "synchronous" | "sync" -> Ok Experiments.Synchronous
+  | "ours" | "partial" -> Ok Experiments.Ours
+  | s -> Error (Printf.sprintf "unknown protocol %S" s)
+
+let parse_behavior = function
+  | "silent" -> Ok Runenv.Silent
+  | "equivocating" -> Ok Runenv.Equivocating
+  | "honest" -> Ok Runenv.Honest
+  | s -> Error (Printf.sprintf "unknown behavior %S" s)
+
+let int_arg s = Option.to_result ~none:(Printf.sprintf "bad integer %S" s) (int_of_string_opt s)
+let float_arg s = Option.to_result ~none:(Printf.sprintf "bad number %S" s) (float_of_string_opt s)
+
+let apply_directive draft = function
+  | [ "protocol"; p ] ->
+      let* p = parse_protocol p in
+      draft.protocol <- p;
+      Ok ()
+  | [ "relays"; n ] ->
+      let* n = int_arg n in
+      if n < 0 then Error "relays must be non-negative"
+      else begin
+        draft.relays <- n;
+        Ok ()
+      end
+  | [ "bandwidth"; b ] ->
+      let* b = float_arg b in
+      draft.bandwidth_mbit <- b;
+      Ok ()
+  | [ "seed"; s ] ->
+      draft.seed <- s;
+      Ok ()
+  | [ "horizon"; h ] ->
+      let* h = float_arg h in
+      draft.horizon <- h;
+      Ok ()
+  | [ "behavior"; node; b ] ->
+      let* node = int_arg node in
+      let* b = parse_behavior b in
+      draft.behaviors <- (node, b) :: draft.behaviors;
+      Ok ()
+  | [ "attack"; node; start; stop; residual ] ->
+      let* node = int_arg node in
+      let* start = float_arg start in
+      let* stop = float_arg stop in
+      let* residual = float_arg residual in
+      draft.attacks <-
+        { Runenv.node; start; stop; bits_per_sec = residual *. 1e6 } :: draft.attacks;
+      Ok ()
+  | [ "flood-majority"; start; stop; residual ] ->
+      let* start = float_arg start in
+      let* stop = float_arg stop in
+      let* residual = float_arg residual in
+      draft.attacks <-
+        Attack.Ddos.bandwidth_attack ~n:9 ~start ~stop
+          ~residual_bits_per_sec:(residual *. 1e6) ()
+        @ draft.attacks;
+      Ok ()
+  | [ "knockout-majority"; start; stop ] ->
+      let* start = float_arg start in
+      let* stop = float_arg stop in
+      draft.attacks <- Attack.Ddos.knockout ~n:9 ~start ~stop () @ draft.attacks;
+      Ok ()
+  | words -> Error (Printf.sprintf "unknown directive %S" (String.concat " " words))
+
+let parse text =
+  let draft = fresh_draft () in
+  let lines = String.split_on_char '\n' text in
+  let rec go line_no = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        let content =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let words =
+          String.split_on_char ' ' (String.trim content)
+          |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | [] -> go (line_no + 1) rest
+        | directive -> (
+            match apply_directive draft directive with
+            | Ok () -> go (line_no + 1) rest
+            | Error e -> Error (Printf.sprintf "line %d: %s" line_no e)))
+  in
+  let* () = go 1 lines in
+  let behaviors = Array.make 9 Runenv.Honest in
+  let* () =
+    List.fold_left
+      (fun acc (node, b) ->
+        let* () = acc in
+        if node < 0 || node >= 9 then Error (Printf.sprintf "behavior node %d out of range" node)
+        else begin
+          behaviors.(node) <- b;
+          Ok ()
+        end)
+      (Ok ()) draft.behaviors
+  in
+  match
+    Runenv.make ~seed:draft.seed ~n_relays:draft.relays
+      ~bandwidth_bits_per_sec:(draft.bandwidth_mbit *. 1e6)
+      ~attacks:draft.attacks ~behaviors ~horizon:draft.horizon ()
+  with
+  | env -> Ok { protocol = draft.protocol; env }
+  | exception Invalid_argument e -> Error e
+
+let run (t : t) = Experiments.run_protocol t.protocol t.env
+
+let default_text =
+  "# The paper's Figure 1 scenario: the deployed protocol, the live\n\
+   # network's scale, and a stressor flood on five of the nine\n\
+   # directory authorities during the vote exchange.\n\
+   protocol current\n\
+   relays 8000\n\
+   bandwidth 250\n\
+   seed figure-1\n\
+   flood-majority 0 300 0.5\n"

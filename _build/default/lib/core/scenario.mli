@@ -1,0 +1,38 @@
+(** Scenario files: a small text format describing a simulation run,
+    standing in for the tornettools configuration stage of the paper's
+    pipeline.  One directive per line; [#] starts a comment.
+
+    {v
+    # five-minute flood on a majority of the authorities
+    protocol current
+    relays 8000
+    bandwidth 250
+    seed demo
+    flood-majority 0 300 0.5
+    behavior 3 silent
+    attack 7 100 200 1.0
+    v}
+
+    Directives:
+    - [protocol current|synchronous|ours]
+    - [relays N], [bandwidth MBIT], [seed STR], [horizon SECONDS]
+    - [behavior NODE silent|equivocating|honest]
+    - [attack NODE START STOP RESIDUAL_MBIT] — one bandwidth window
+    - [flood-majority START STOP RESIDUAL_MBIT] — the paper's attack
+    - [knockout-majority START STOP] — the Figure 11 attack *)
+
+type t = {
+  protocol : Experiments.protocol;
+  env : Protocols.Runenv.t;
+}
+
+val parse : string -> (t, string) result
+(** Parse scenario text.  Errors carry the offending line number and
+    content. *)
+
+val run : t -> Protocols.Runenv.run_result
+(** Execute the scenario's protocol on its environment. *)
+
+val default_text : string
+(** A commented example scenario (the Figure 1 attack), used by the
+    CLI's [--example] flag and the tests. *)

@@ -1,0 +1,1 @@
+lib/crypto/digest32.ml: Format Sha256 String

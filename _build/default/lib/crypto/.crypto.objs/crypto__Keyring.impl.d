@@ -1,0 +1,1 @@
+lib/crypto/keyring.ml: Array Hmac Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Format Hmac Keyring Sha256 String

@@ -1,0 +1,36 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest_string key else key in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  padded
+
+let xor_pad key byte =
+  let out = Bytes.create block_size in
+  for i = 0 to block_size - 1 do
+    Bytes.set out i (Char.chr (Char.code (Bytes.get key i) lxor byte))
+  done;
+  Bytes.unsafe_to_string out
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner =
+    let ctx = Sha256.init () in
+    Sha256.feed_string ctx (xor_pad key 0x36);
+    Sha256.feed_string ctx msg;
+    Sha256.finalize ctx
+  in
+  let ctx = Sha256.init () in
+  Sha256.feed_string ctx (xor_pad key 0x5c);
+  Sha256.feed_string ctx inner;
+  Sha256.finalize ctx
+
+let mac_hex ~key msg = Sha256.hex_of_raw (mac ~key msg)
+
+let equal a b =
+  String.length a = String.length b
+  &&
+  let diff = ref 0 in
+  String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code b.[i])) a;
+  !diff = 0

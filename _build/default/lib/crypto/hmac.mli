@@ -1,0 +1,17 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    Used both as a keyed MAC in its own right and as the core of the
+    simulated signature scheme ({!Signature}).  Validated against the
+    RFC 4231 test vectors in the test suite. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte raw HMAC-SHA256 of [msg] under [key].
+    Keys longer than the 64-byte block size are hashed first, per the
+    RFC. *)
+
+val mac_hex : key:string -> string -> string
+(** [mac_hex ~key msg] is [mac] rendered as lowercase hex. *)
+
+val equal : string -> string -> bool
+(** [equal a b] compares two MACs in time independent of where they
+    first differ (constant-time for equal lengths). *)

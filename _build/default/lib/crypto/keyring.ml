@@ -1,0 +1,27 @@
+type t = { secrets : string array; fingerprints : string array }
+
+let create ?(seed = "torpartial-pki") ~n () =
+  if n <= 0 then invalid_arg "Keyring.create: n must be positive";
+  let derive id = Hmac.mac ~key:seed (Printf.sprintf "node-secret-%d" id) in
+  let secrets = Array.init n derive in
+  let fingerprints =
+    Array.init n (fun id ->
+        let hex = Sha256.digest_hex ("identity-" ^ secrets.(id)) in
+        String.uppercase_ascii (String.sub hex 0 40))
+  in
+  { secrets; fingerprints }
+
+let size t = Array.length t.secrets
+
+let check t id name =
+  if id < 0 || id >= size t then invalid_arg ("Keyring." ^ name ^ ": bad node id")
+
+let secret t id =
+  check t id "secret";
+  t.secrets.(id)
+
+let fingerprint t id =
+  check t id "fingerprint";
+  t.fingerprints.(id)
+
+let mem t id = id >= 0 && id < size t

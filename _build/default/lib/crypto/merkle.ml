@@ -1,0 +1,53 @@
+type side = Left | Right
+type proof = (side * Digest32.t) list
+
+(* One level up: pair adjacent nodes, duplicating a trailing odd node. *)
+let level_up nodes =
+  let rec pair acc = function
+    | [] -> List.rev acc
+    | [ last ] -> List.rev (Digest32.pair last last :: acc)
+    | a :: b :: rest -> pair (Digest32.pair a b :: acc) rest
+  in
+  pair [] nodes
+
+let root leaves =
+  if leaves = [] then invalid_arg "Merkle.root: empty leaf list";
+  let rec go = function
+    | [ only ] -> only
+    | nodes -> go (level_up nodes)
+  in
+  go leaves
+
+let prove leaves ~index =
+  let n = List.length leaves in
+  if n = 0 then invalid_arg "Merkle.prove: empty leaf list";
+  if index < 0 || index >= n then invalid_arg "Merkle.prove: index out of range";
+  let rec go nodes idx acc =
+    match nodes with
+    | [ _ ] -> List.rev acc
+    | _ ->
+        let arr = Array.of_list nodes in
+        let len = Array.length arr in
+        let sibling_idx = if idx land 1 = 0 then idx + 1 else idx - 1 in
+        let sibling =
+          if sibling_idx >= len then arr.(idx) (* odd node paired with itself *)
+          else arr.(sibling_idx)
+        in
+        let side = if idx land 1 = 0 then Right else Left in
+        go (level_up nodes) (idx / 2) ((side, sibling) :: acc)
+  in
+  go leaves index []
+
+let verify ~root:expected ~leaf ~index proof =
+  ignore index;
+  let computed =
+    List.fold_left
+      (fun acc (side, sibling) ->
+        match side with
+        | Right -> Digest32.pair acc sibling
+        | Left -> Digest32.pair sibling acc)
+      leaf proof
+  in
+  Digest32.equal computed expected
+
+let proof_wire_size proof = List.length proof * (1 + Digest32.wire_size)

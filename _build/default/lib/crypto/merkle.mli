@@ -1,0 +1,29 @@
+(** Merkle trees over digests.
+
+    Used to commit to a vector of vote digests in one 32-byte root, and
+    to let a node prove membership of one entry without shipping the
+    vector — an ablation the benches compare against whole-vector
+    proofs. *)
+
+type proof = (side * Digest32.t) list
+(** Inclusion proof: sibling digests from leaf to root. *)
+
+and side = Left | Right
+(** Which side the sibling sits on at each level. *)
+
+val root : Digest32.t list -> Digest32.t
+(** [root leaves] is the Merkle root.  A singleton list is its own
+    root; an odd level duplicates its last node.  Raises
+    [Invalid_argument] on an empty list. *)
+
+val prove : Digest32.t list -> index:int -> proof
+(** [prove leaves ~index] is the inclusion proof for [leaves.(index)].
+    Raises [Invalid_argument] if [index] is out of range. *)
+
+val verify : root:Digest32.t -> leaf:Digest32.t -> index:int -> proof -> bool
+(** [verify ~root ~leaf ~index p] checks [p] against [root].  [index]
+    is accepted for interface symmetry; the path itself encodes the
+    position. *)
+
+val proof_wire_size : proof -> int
+(** Modelled bytes a proof occupies on the simulated wire. *)

@@ -1,0 +1,168 @@
+(* SHA-256 per FIPS 180-4.  All word arithmetic is on Int32 so the
+   implementation is exact on every platform. *)
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+type ctx = {
+  h : int32 array;           (* 8 chaining words *)
+  block : bytes;             (* 64-byte input buffer *)
+  mutable fill : int;        (* valid bytes in [block] *)
+  mutable total : int64;     (* total message bytes absorbed *)
+  w : int32 array;           (* 64-word message schedule, reused *)
+}
+
+let init () =
+  {
+    h =
+      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
+         0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+    block = Bytes.create 64;
+    fill = 0;
+    total = 0L;
+    w = Array.make 64 0l;
+  }
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+
+let compress ctx =
+  let w = ctx.w in
+  let b = ctx.block in
+  for t = 0 to 15 do
+    let base = t * 4 in
+    let byte i = Int32.of_int (Char.code (Bytes.get b (base + i))) in
+    w.(t) <-
+      Int32.logor
+        (Int32.shift_left (byte 0) 24)
+        (Int32.logor
+           (Int32.shift_left (byte 1) 16)
+           (Int32.logor (Int32.shift_left (byte 2) 8) (byte 3)))
+  done;
+  for t = 16 to 63 do
+    let s0 =
+      Int32.logxor
+        (Int32.logxor (rotr w.(t - 15) 7) (rotr w.(t - 15) 18))
+        (Int32.shift_right_logical w.(t - 15) 3)
+    in
+    let s1 =
+      Int32.logxor
+        (Int32.logxor (rotr w.(t - 2) 17) (rotr w.(t - 2) 19))
+        (Int32.shift_right_logical w.(t - 2) 10)
+    in
+    w.(t) <- Int32.add (Int32.add (Int32.add w.(t - 16) s0) w.(t - 7)) s1
+  done;
+  let h = ctx.h in
+  let a = ref h.(0) and b' = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 63 do
+    let sigma1 =
+      Int32.logxor (Int32.logxor (rotr !e 6) (rotr !e 11)) (rotr !e 25)
+    in
+    let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
+    let t1 = Int32.add (Int32.add (Int32.add (Int32.add !hh sigma1) ch) k.(t)) w.(t) in
+    let sigma0 =
+      Int32.logxor (Int32.logxor (rotr !a 2) (rotr !a 13)) (rotr !a 22)
+    in
+    let maj =
+      Int32.logxor
+        (Int32.logxor (Int32.logand !a !b') (Int32.logand !a !c))
+        (Int32.logand !b' !c)
+    in
+    let t2 = Int32.add sigma0 maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := Int32.add !d t1;
+    d := !c;
+    c := !b';
+    b' := !a;
+    a := Int32.add t1 t2
+  done;
+  h.(0) <- Int32.add h.(0) !a;
+  h.(1) <- Int32.add h.(1) !b';
+  h.(2) <- Int32.add h.(2) !c;
+  h.(3) <- Int32.add h.(3) !d;
+  h.(4) <- Int32.add h.(4) !e;
+  h.(5) <- Int32.add h.(5) !f;
+  h.(6) <- Int32.add h.(6) !g;
+  h.(7) <- Int32.add h.(7) !hh
+
+let feed_bytes ctx src ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then
+    invalid_arg "Sha256.feed_bytes";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let remaining = ref len and offset = ref pos in
+  while !remaining > 0 do
+    let space = 64 - ctx.fill in
+    let chunk = min space !remaining in
+    Bytes.blit src !offset ctx.block ctx.fill chunk;
+    ctx.fill <- ctx.fill + chunk;
+    offset := !offset + chunk;
+    remaining := !remaining - chunk;
+    if ctx.fill = 64 then begin
+      compress ctx;
+      ctx.fill <- 0
+    end
+  done
+
+let feed_string ctx s =
+  feed_bytes ctx (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let finalize ctx =
+  let bit_length = Int64.mul ctx.total 8L in
+  (* Append 0x80, zero-pad to 56 mod 64, then the 64-bit big-endian length. *)
+  Bytes.set ctx.block ctx.fill '\x80';
+  ctx.fill <- ctx.fill + 1;
+  if ctx.fill > 56 then begin
+    Bytes.fill ctx.block ctx.fill (64 - ctx.fill) '\x00';
+    compress ctx;
+    ctx.fill <- 0
+  end;
+  Bytes.fill ctx.block ctx.fill (56 - ctx.fill) '\x00';
+  for i = 0 to 7 do
+    let shift = (7 - i) * 8 in
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical bit_length shift) 0xffL) in
+    Bytes.set ctx.block (56 + i) (Char.chr byte)
+  done;
+  compress ctx;
+  let out = Bytes.create 32 in
+  for i = 0 to 7 do
+    let word = ctx.h.(i) in
+    for j = 0 to 3 do
+      let shift = (3 - j) * 8 in
+      let byte =
+        Int32.to_int (Int32.logand (Int32.shift_right_logical word shift) 0xffl)
+      in
+      Bytes.set out ((i * 4) + j) (Char.chr byte)
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let digest_bytes b =
+  let ctx = init () in
+  feed_bytes ctx b ~pos:0 ~len:(Bytes.length b);
+  finalize ctx
+
+let digest_string s =
+  let ctx = init () in
+  feed_string ctx s;
+  finalize ctx
+
+let hex_of_raw d =
+  let buf = Buffer.create (String.length d * 2) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf
+
+let digest_hex s = hex_of_raw (digest_string s)

@@ -1,0 +1,21 @@
+type t = { signer : int; tag : string }
+
+(* Domain-separate signing from other HMAC uses of the same secret. *)
+let tag_of ring ~signer msg =
+  Hmac.mac ~key:(Keyring.secret ring signer) ("sig\x00" ^ msg)
+
+let sign ring ~signer msg = { signer; tag = tag_of ring ~signer msg }
+
+let verify ring sg msg =
+  Keyring.mem ring sg.signer && Hmac.equal sg.tag (tag_of ring ~signer:sg.signer msg)
+
+let forge ~signer msg =
+  { signer; tag = Sha256.digest_string ("forged\x00" ^ msg) }
+
+let wire_size = 64
+
+let equal a b = a.signer = b.signer && String.equal a.tag b.tag
+
+let pp ppf t =
+  Format.fprintf ppf "sig[%d:%s]" t.signer
+    (String.sub (Sha256.hex_of_raw t.tag) 0 8)

@@ -1,0 +1,1 @@
+lib/dirdoc/aggregate.ml: Array Consensus Exit_policy Flags Hashtbl Int List Relay String Version Vote

@@ -1,0 +1,1 @@
+lib/dirdoc/aggregate.mli: Consensus Relay Vote

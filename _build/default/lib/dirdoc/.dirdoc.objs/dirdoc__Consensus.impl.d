@@ -1,0 +1,1 @@
+lib/dirdoc/consensus.ml: Array Buffer Crypto Exit_policy Flags List Option Printf Result String Timefmt Version

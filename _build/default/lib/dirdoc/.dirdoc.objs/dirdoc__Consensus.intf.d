@@ -1,0 +1,1 @@
+lib/dirdoc/consensus.mli: Crypto Exit_policy Flags Version

@@ -1,0 +1,1 @@
+lib/dirdoc/exit_policy.ml: Format Fun Int List Option Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/dirdoc/exit_policy.mli: Format

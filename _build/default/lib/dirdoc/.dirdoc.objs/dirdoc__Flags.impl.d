@@ -1,0 +1,1 @@
+lib/dirdoc/flags.ml: Format Int List Printf String

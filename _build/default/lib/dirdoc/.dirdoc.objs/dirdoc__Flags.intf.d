@@ -1,0 +1,1 @@
+lib/dirdoc/flags.mli: Format

@@ -1,0 +1,1 @@
+lib/dirdoc/metrics_trace.ml: Float Hashtbl List Option Printf String Timefmt Tor_sim

@@ -1,0 +1,1 @@
+lib/dirdoc/metrics_trace.mli: Tor_sim

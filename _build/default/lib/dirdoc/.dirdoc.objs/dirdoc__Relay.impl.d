@@ -1,0 +1,1 @@
+lib/dirdoc/relay.ml: Crypto Exit_policy Flags Format Int Option Printf String Version

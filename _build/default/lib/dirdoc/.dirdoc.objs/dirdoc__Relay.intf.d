@@ -1,0 +1,1 @@
+lib/dirdoc/relay.mli: Crypto Exit_policy Flags Format Version

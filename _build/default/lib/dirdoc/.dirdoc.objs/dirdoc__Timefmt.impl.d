@@ -1,0 +1,1 @@
+lib/dirdoc/timefmt.ml: Float Printf String

@@ -1,0 +1,1 @@
+lib/dirdoc/version.ml: Format Int Printf String

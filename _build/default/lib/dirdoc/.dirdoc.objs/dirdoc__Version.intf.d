@@ -1,0 +1,1 @@
+lib/dirdoc/version.mli: Format

@@ -1,0 +1,1 @@
+lib/dirdoc/vote.ml: Array Buffer Crypto Exit_policy Flags List Option Printf Relay Result String Timefmt Version

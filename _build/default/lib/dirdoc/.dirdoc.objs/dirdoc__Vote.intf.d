@@ -1,0 +1,1 @@
+lib/dirdoc/vote.mli: Crypto Relay

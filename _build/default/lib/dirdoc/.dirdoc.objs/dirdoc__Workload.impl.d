@@ -1,0 +1,1 @@
+lib/dirdoc/workload.ml: Array Crypto Exit_policy Flags Float Hashtbl List Option Printf Relay Stdlib String Tor_sim Version Vote

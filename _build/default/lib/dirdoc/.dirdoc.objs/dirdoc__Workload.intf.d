@@ -1,0 +1,1 @@
+lib/dirdoc/workload.mli: Crypto Relay Tor_sim Vote

@@ -1,0 +1,107 @@
+let include_threshold ~n_votes = (n_votes / 2) + 1
+
+let low_median values =
+  if values = [] then invalid_arg "Aggregate.low_median: empty list";
+  let sorted = List.sort Int.compare values in
+  List.nth sorted ((List.length sorted - 1) / 2)
+
+(* Popular vote over an arbitrary property: the most common value wins,
+   with count ties broken toward the larger value (Figure 2).  Sorting
+   ascending and preferring later runs on equal counts implements the
+   tie-break directly. *)
+let popular ~compare_value values =
+  let sorted = List.sort compare_value values in
+  let rec scan best best_count current count = function
+    | [] -> if count >= best_count then current else best
+    | v :: rest ->
+        if compare_value v current = 0 then scan best best_count current (count + 1) rest
+        else
+          let best, best_count =
+            if count >= best_count then (current, count) else (best, best_count)
+          in
+          scan best best_count v 1 rest
+  in
+  match sorted with
+  | [] -> invalid_arg "Aggregate.popular: empty"
+  | first :: rest -> scan first 0 first 1 rest
+
+let aggregate_relay listings =
+  if listings = [] then invalid_arg "Aggregate.aggregate_relay: empty listings";
+  let fingerprint = (snd (List.hd listings)).Relay.fingerprint in
+  List.iter
+    (fun (_, (r : Relay.t)) ->
+      if not (String.equal r.fingerprint fingerprint) then
+        invalid_arg "Aggregate.aggregate_relay: mismatched fingerprints")
+    listings;
+  let n_listing = List.length listings in
+  (* Nickname: the vote with the largest authority id decides. *)
+  let nickname =
+    let _, relay =
+      List.fold_left
+        (fun (best_id, best_r) (id, r) ->
+          if id > best_id then (id, r) else (best_id, best_r))
+        (List.hd listings) (List.tl listings)
+    in
+    relay.Relay.nickname
+  in
+  (* Flags: strict majority of listing votes; ties stay unset. *)
+  let flags =
+    List.fold_left
+      (fun acc flag ->
+        let yes =
+          List.length (List.filter (fun (_, r) -> Flags.mem flag r.Relay.flags) listings)
+        in
+        if 2 * yes > n_listing then Flags.add flag acc else acc)
+      Flags.empty Flags.all
+  in
+  let relays = List.map snd listings in
+  let version =
+    popular ~compare_value:Version.compare
+      (List.map (fun (r : Relay.t) -> r.version) relays)
+  in
+  let protocols =
+    popular ~compare_value:String.compare
+      (List.map (fun (r : Relay.t) -> r.protocols) relays)
+  in
+  let exit_policy =
+    popular ~compare_value:Exit_policy.compare
+      (List.map (fun (r : Relay.t) -> r.exit_policy) relays)
+  in
+  let bandwidth =
+    let measured = List.filter_map (fun (r : Relay.t) -> r.measured) relays in
+    match measured with
+    | [] -> low_median (List.map (fun (r : Relay.t) -> r.bandwidth) relays)
+    | _ -> low_median measured
+  in
+  { Consensus.fingerprint; nickname; flags; version; protocols; bandwidth; exit_policy }
+
+let consensus ~valid_after ~votes =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (v : Vote.t) ->
+      if Hashtbl.mem seen v.Vote.authority then
+        invalid_arg "Aggregate.consensus: duplicate authority vote";
+      Hashtbl.replace seen v.Vote.authority ())
+    votes;
+  let n_votes = List.length votes in
+  let threshold = include_threshold ~n_votes in
+  (* Gather per-fingerprint listings across all votes. *)
+  let table : (string, (int * Relay.t) list ref) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter
+    (fun (v : Vote.t) ->
+      Array.iter
+        (fun (r : Relay.t) ->
+          match Hashtbl.find_opt table r.fingerprint with
+          | Some cell -> cell := (v.Vote.authority, r) :: !cell
+          | None -> Hashtbl.add table r.fingerprint (ref [ (v.Vote.authority, r) ]))
+        v.Vote.relays)
+    votes;
+  let entries =
+    Hashtbl.fold
+      (fun _ cell acc ->
+        let listings = !cell in
+        if List.length listings >= threshold then aggregate_relay listings :: acc
+        else acc)
+      table []
+  in
+  Consensus.create ~valid_after ~n_votes ~entries

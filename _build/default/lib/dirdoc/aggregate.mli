@@ -1,0 +1,35 @@
+(** Vote aggregation — the deterministic algorithm of Figure 2.
+
+    Every authority runs this locally on the set of votes it holds;
+    the directory protocol's job is to make that set identical
+    everywhere.  The rules, per relay:
+
+    - included iff listed in a strict majority of the aggregated votes
+      (see DESIGN.md §4.2 on the threshold reading);
+    - nickname from the listing vote with the largest authority id;
+    - each flag set iff a strict majority of listing votes assert it
+      (tie ⇒ unset);
+    - version and protocols by popular vote, ties to the largest;
+    - exit policy by popular vote, ties to the lexicographically
+      larger summary;
+    - bandwidth is the low-median of the measured values, falling back
+      to the low-median of advertised values when no vote measured the
+      relay. *)
+
+val include_threshold : n_votes:int -> int
+(** Minimum number of listing votes for inclusion:
+    [n_votes / 2 + 1]. *)
+
+val low_median : int list -> int
+(** Tor's median: element at index [(len - 1) / 2] of the sorted list.
+    Raises [Invalid_argument] on an empty list. *)
+
+val aggregate_relay : (int * Relay.t) list -> Consensus.entry
+(** [aggregate_relay listings] combines one relay's entries from the
+    votes that listed it ([(authority_id, entry)] pairs).  Raises
+    [Invalid_argument] on an empty list or mismatched fingerprints. *)
+
+val consensus : valid_after:float -> votes:Vote.t list -> Consensus.t
+(** Aggregate whole votes into a consensus document.  Votes must come
+    from distinct authorities.  The result is independent of the order
+    of [votes]. *)

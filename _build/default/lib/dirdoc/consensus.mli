@@ -1,0 +1,54 @@
+(** Consensus documents — the output of the directory protocol.
+
+    An entry carries the aggregated properties of one relay; the
+    document carries the validity window Tor clients enforce (stale
+    after 1 h, invalid after 3 h — the rule that turns repeated
+    consensus failures into a network outage). *)
+
+type entry = {
+  fingerprint : string;
+  nickname : string;
+  flags : Flags.t;
+  version : Version.t;
+  protocols : string;
+  bandwidth : int;
+  exit_policy : Exit_policy.t;
+}
+
+type t = private {
+  valid_after : float;
+  fresh_until : float;
+  valid_until : float;
+  n_votes : int;          (** votes aggregated into this document *)
+  entries : entry array;  (** sorted by fingerprint *)
+  digest : Crypto.Digest32.t;
+}
+
+val create : valid_after:float -> n_votes:int -> entries:entry list -> t
+(** Sorts entries, rejects duplicate fingerprints, derives the
+    validity window ([+1 h] fresh, [+3 h] valid) and digest. *)
+
+val n_entries : t -> int
+val find : t -> fingerprint:string -> entry option
+val digest : t -> Crypto.Digest32.t
+val equal : t -> t -> bool
+
+val is_fresh : t -> now:float -> bool
+(** Clients should still use the document. *)
+
+val is_valid : t -> now:float -> bool
+(** Document not yet past the 3-hour hard deadline. *)
+
+val wire_size : t -> int
+(** Modelled serialized size (header + 220 bytes per entry). *)
+
+val serialize : t -> string
+(** Dir-spec-style text rendering. *)
+
+val parse : string -> (t, string) result
+(** Parse text produced by {!serialize}; [parse (serialize c)] equals
+    [c] content-wise. *)
+
+val signing_payload : t -> string
+(** The byte string authorities sign: the digest prefixed with a
+    domain tag. *)

@@ -1,0 +1,79 @@
+type policy = Accept | Reject
+
+type t = { policy : policy; ranges : (int * int) list }
+
+let normalize ranges =
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) ranges in
+  let rec merge = function
+    | [] -> []
+    | [ r ] -> [ r ]
+    | (lo1, hi1) :: (lo2, hi2) :: rest ->
+        if lo2 <= hi1 + 1 then merge ((lo1, Stdlib.max hi1 hi2) :: rest)
+        else (lo1, hi1) :: merge ((lo2, hi2) :: rest)
+  in
+  merge sorted
+
+let make policy ranges =
+  if ranges = [] then invalid_arg "Exit_policy.make: empty range list";
+  List.iter
+    (fun (lo, hi) ->
+      if lo < 1 || hi > 65535 || lo > hi then
+        invalid_arg "Exit_policy.make: port range out of bounds")
+    ranges;
+  { policy; ranges = normalize ranges }
+
+let accept_all = { policy = Accept; ranges = [ (1, 65535) ] }
+let reject_all = { policy = Reject; ranges = [ (1, 65535) ] }
+
+let policy t = t.policy
+let ranges t = t.ranges
+
+let in_ranges t port = List.exists (fun (lo, hi) -> port >= lo && port <= hi) t.ranges
+
+let allows_port t port =
+  match t.policy with Accept -> in_ranges t port | Reject -> not (in_ranges t port)
+
+let range_to_string (lo, hi) =
+  if lo = hi then string_of_int lo else Printf.sprintf "%d-%d" lo hi
+
+let to_string t =
+  let keyword = match t.policy with Accept -> "accept" | Reject -> "reject" in
+  keyword ^ " " ^ String.concat "," (List.map range_to_string t.ranges)
+
+let parse_range s =
+  match String.index_opt s '-' with
+  | None -> (
+      match int_of_string_opt s with Some p -> Some (p, p) | None -> None)
+  | Some i -> (
+      let lo = String.sub s 0 i and hi = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi -> Some (lo, hi)
+      | _ -> None)
+
+let of_string s =
+  match String.split_on_char ' ' s with
+  | [ keyword; body ] -> (
+      let policy =
+        match keyword with
+        | "accept" -> Some Accept
+        | "reject" -> Some Reject
+        | _ -> None
+      in
+      match policy with
+      | None -> Error (Printf.sprintf "bad exit policy keyword in %S" s)
+      | Some policy -> (
+          let parts = String.split_on_char ',' body in
+          let parsed = List.map parse_range parts in
+          if List.exists Option.is_none parsed then
+            Error (Printf.sprintf "bad port range in %S" s)
+          else
+            let ranges = List.filter_map Fun.id parsed in
+            match make policy ranges with
+            | t -> Ok t
+            | exception Invalid_argument m -> Error m))
+  | _ -> Error (Printf.sprintf "bad exit policy format %S" s)
+
+let compare a b = String.compare (to_string a) (to_string b)
+let equal a b = compare a b = 0
+let max a b = if compare a b >= 0 then a else b
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,37 @@
+(** Exit-policy summaries (dir-spec "p" lines).
+
+    A summary is ["accept"] or ["reject"] plus a sorted list of
+    disjoint port ranges, e.g. ["accept 80,443,8000-8100"].  Figure 2
+    breaks aggregation ties by picking the lexicographically larger
+    rendered summary, so rendering is canonical (ranges normalized,
+    merged, and sorted). *)
+
+type policy = Accept | Reject
+
+type t
+
+val make : policy -> (int * int) list -> t
+(** [make p ranges] normalizes [ranges] (each [lo, hi] with
+    [1 <= lo <= hi <= 65535]): sorts, merges overlaps and adjacency.
+    Raises [Invalid_argument] on an out-of-range port or an empty
+    list. *)
+
+val accept_all : t
+val reject_all : t
+
+val policy : t -> policy
+val ranges : t -> (int * int) list
+
+val allows_port : t -> int -> bool
+(** Whether the summary permits exiting to a port. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val compare : t -> t -> int
+(** Lexicographic on the canonical rendering — the Figure 2 tie-break
+    order. *)
+
+val equal : t -> t -> bool
+val max : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(** Relay status flags (dir-spec §3.4.1).
+
+    A vote asserts a set of flags per relay; consensus aggregation sets
+    a flag iff a strict majority of voting authorities assert it (a tie
+    leaves the flag unset — Figure 2 of the paper). *)
+
+type flag =
+  | Authority
+  | BadExit
+  | Exit
+  | Fast
+  | Guard
+  | HSDir
+  | MiddleOnly
+  | NoEdConsensus
+  | Running
+  | Stable
+  | StaleDesc
+  | V2Dir
+  | Valid
+
+type t
+(** An immutable set of flags. *)
+
+val empty : t
+val singleton : flag -> t
+val of_list : flag list -> t
+val to_list : t -> flag list
+(** In dir-spec order (alphabetical). *)
+
+val add : flag -> t -> t
+val remove : flag -> t -> t
+val mem : flag -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val cardinal : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val all : flag list
+(** Every known flag, in dir-spec order. *)
+
+val flag_to_string : flag -> string
+val flag_of_string : string -> flag option
+
+val to_string : t -> string
+(** Space-separated dir-spec rendering, e.g. ["Fast Running Valid"]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a space-separated flag list; fails on unknown flags. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+module Rng = Tor_sim.Rng
+
+type point = { day : int; date : string; relays : float }
+
+let paper_mean = 7141.79
+
+let start_days = Timefmt.days_from_civil ~year:2022 ~month:9 ~day:1
+let end_days = Timefmt.days_from_civil ~year:2024 ~month:10 ~day:31
+let n_days = end_days - start_days + 1
+
+let date_of_day day =
+  let year, month, d = Timefmt.civil_from_days (start_days + day) in
+  Printf.sprintf "%04d-%02d-%02d" year month d
+
+(* Qualitative shape of the live census over the window: high in late
+   2022, a trough around mid-2023, recovery through 2024. *)
+let shape day =
+  let t = float_of_int day /. float_of_int (n_days - 1) in
+  let trough = -650. *. exp (-.(((t -. 0.42) /. 0.16) ** 2.)) in
+  let recovery = 900. *. Float.max 0. (t -. 0.55) /. 0.45 in
+  let seasonal = 120. *. sin (t *. 14.) in
+  trough +. recovery +. seasonal
+
+let series ~rng () =
+  let raw =
+    List.init n_days (fun day -> shape day +. Rng.gaussian rng ~mean:0. ~stddev:60.)
+  in
+  let raw_mean = List.fold_left ( +. ) 0. raw /. float_of_int n_days in
+  let offset = paper_mean -. raw_mean in
+  List.mapi
+    (fun day v -> { day; date = date_of_day day; relays = Float.max 0. (v +. offset) })
+    raw
+
+let mean points =
+  List.fold_left (fun acc p -> acc +. p.relays) 0. points /. float_of_int (List.length points)
+
+let minimum points = List.fold_left (fun acc p -> Float.min acc p.relays) infinity points
+let maximum points = List.fold_left (fun acc p -> Float.max acc p.relays) neg_infinity points
+
+let monthly points =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun p ->
+      let month = String.sub p.date 0 7 in
+      let sum, count =
+        Option.value (Hashtbl.find_opt table month) ~default:(0., 0)
+      in
+      Hashtbl.replace table month (sum +. p.relays, count + 1))
+    points;
+  Hashtbl.fold (fun month (sum, count) acc -> (month, sum /. float_of_int count) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

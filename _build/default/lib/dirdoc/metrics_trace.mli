@@ -1,0 +1,25 @@
+(** Synthetic relay-census time series (Figure 6 substitute).
+
+    The paper plots the live Tor relay count from September 2022 to
+    October 2024 (mean 7141.79) to motivate sweeping the relay-count
+    parameter.  We generate a seeded series with the same window,
+    mean, and qualitative shape: a 2022 high, a mid-2023 trough, and a
+    2024 recovery, plus daily noise. *)
+
+type point = { day : int; date : string; relays : float }
+(** [day] counts from 2022-09-01; [date] is ["YYYY-MM-DD"]. *)
+
+val paper_mean : float
+(** 7141.79, the dashed line in Figure 6. *)
+
+val series : rng:Tor_sim.Rng.t -> unit -> point list
+(** Daily points covering 2022-09-01 .. 2024-10-31 whose mean is
+    [paper_mean] to within 1e-6 (the generator recentres the shape). *)
+
+val mean : point list -> float
+val minimum : point list -> float
+val maximum : point list -> float
+
+val monthly : point list -> (string * float) list
+(** Month label ("2023-04") and that month's average; what the bench
+    prints as the Figure 6 series. *)

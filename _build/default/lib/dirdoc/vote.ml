@@ -1,0 +1,250 @@
+type t = {
+  authority : int;
+  authority_fingerprint : string;
+  nickname : string;
+  published : float;
+  valid_after : float;
+  fresh_until : float;
+  valid_until : float;
+  relays : Relay.t array;
+  digest : Crypto.Digest32.t;
+}
+
+let header_wire_bytes = 2048
+
+(* Canonical compact encoding: every voted property of every relay, so
+   any divergence between two authorities' views changes the digest.
+   Streamed through the hash to avoid building a megabyte string. *)
+let compute_digest ~authority ~authority_fingerprint ~published ~valid_after relays =
+  let ctx = Crypto.Sha256.init () in
+  let feed = Crypto.Sha256.feed_string ctx in
+  feed (Printf.sprintf "vote|%d|%s|%.0f|%.0f|" authority authority_fingerprint published valid_after);
+  Array.iter
+    (fun (r : Relay.t) ->
+      feed r.fingerprint;
+      feed r.nickname;
+      feed (Crypto.Digest32.raw r.descriptor_digest);
+      feed
+        (Printf.sprintf "|%s|%d|%d|%s|%s|%s\n"
+           (Flags.to_string r.flags)
+           r.bandwidth
+           (Option.value r.measured ~default:(-1))
+           (Version.to_string r.version)
+           r.protocols
+           (Exit_policy.to_string r.exit_policy)))
+    relays;
+  Crypto.Digest32.of_raw (Crypto.Sha256.finalize ctx)
+
+let create ~authority ~authority_fingerprint ~nickname ~published ~valid_after ~relays =
+  if authority < 0 then invalid_arg "Vote.create: negative authority id";
+  let arr = Array.of_list relays in
+  Array.sort Relay.compare_fingerprint arr;
+  for i = 1 to Array.length arr - 1 do
+    if String.equal arr.(i - 1).Relay.fingerprint arr.(i).Relay.fingerprint then
+      invalid_arg "Vote.create: duplicate relay fingerprint"
+  done;
+  {
+    authority;
+    authority_fingerprint;
+    nickname;
+    published;
+    valid_after;
+    fresh_until = valid_after +. 3600.;
+    valid_until = valid_after +. (3. *. 3600.);
+    relays = arr;
+    digest = compute_digest ~authority ~authority_fingerprint ~published ~valid_after arr;
+  }
+
+let n_relays t = Array.length t.relays
+
+let find t ~fingerprint =
+  let rec search lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let c = String.compare fingerprint t.relays.(mid).Relay.fingerprint in
+      if c = 0 then Some t.relays.(mid)
+      else if c < 0 then search lo mid
+      else search (mid + 1) hi
+  in
+  search 0 (Array.length t.relays)
+
+let wire_size_for ~n_relays = header_wire_bytes + (Relay.entry_wire_bytes * n_relays)
+let wire_size t = wire_size_for ~n_relays:(n_relays t)
+let digest t = t.digest
+let equal a b = Crypto.Digest32.equal a.digest b.digest
+
+let serialize t =
+  let buf = Buffer.create (4096 + (Array.length t.relays * 512)) in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "network-status-version 3";
+  line "vote-status vote";
+  line "consensus-method 34";
+  line "published %s" (Timefmt.to_string t.published);
+  line "valid-after %s" (Timefmt.to_string t.valid_after);
+  line "fresh-until %s" (Timefmt.to_string t.fresh_until);
+  line "valid-until %s" (Timefmt.to_string t.valid_until);
+  line "dir-source %s %d %s" t.nickname t.authority t.authority_fingerprint;
+  Array.iter
+    (fun (r : Relay.t) ->
+      line "r %s %s %s %s %d %d" r.nickname r.fingerprint
+        (Timefmt.to_string r.published) r.address r.or_port r.dir_port;
+      line "s %s" (Flags.to_string r.flags);
+      line "v Tor %s" (Version.to_string r.version);
+      line "pr %s" r.protocols;
+      (match r.measured with
+      | None -> line "w Bandwidth=%d" r.bandwidth
+      | Some m -> line "w Bandwidth=%d Measured=%d" r.bandwidth m);
+      line "p %s" (Exit_policy.to_string r.exit_policy);
+      line "m %s" (Crypto.Digest32.hex r.descriptor_digest))
+    t.relays;
+  line "directory-footer";
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------- *)
+
+type parser_state = {
+  mutable meta : (string * string) list;
+  mutable relays_rev : Relay.t list;
+  (* fields of the relay entry being assembled *)
+  mutable r_line : string list option;
+  mutable r_flags : Flags.t option;
+  mutable r_version : Version.t option;
+  mutable r_protocols : string option;
+  mutable r_bandwidth : (int * int option) option;
+  mutable r_policy : Exit_policy.t option;
+}
+
+let ( let* ) = Result.bind
+
+let parse_timestamp meta key =
+  match List.assoc_opt key meta with
+  | None -> Error (Printf.sprintf "missing %s" key)
+  | Some raw -> Timefmt.of_string raw
+
+let flush_relay st =
+  match st.r_line with
+  | None -> Ok ()
+  | Some [ nickname; fingerprint; date; time; address; or_port; dir_port ] -> (
+      let* published = Timefmt.of_string (date ^ " " ^ time) in
+      match
+        ( st.r_flags,
+          st.r_version,
+          st.r_bandwidth,
+          st.r_policy,
+          int_of_string_opt or_port,
+          int_of_string_opt dir_port )
+      with
+      | Some flags, Some version, Some (bandwidth, measured), Some policy, Some orp, Some dirp -> (
+          match
+            Relay.make ~fingerprint ~nickname ~address ~or_port:orp ~dir_port:dirp
+              ~published ~flags ~version
+              ?protocols:st.r_protocols ~bandwidth ?measured ~exit_policy:policy ()
+          with
+          | exception Invalid_argument e -> Error e
+          | relay ->
+          st.relays_rev <- relay :: st.relays_rev;
+          st.r_line <- None;
+          st.r_flags <- None;
+          st.r_version <- None;
+          st.r_protocols <- None;
+          st.r_bandwidth <- None;
+          st.r_policy <- None;
+          Ok ())
+      | _ -> Error (Printf.sprintf "incomplete relay entry for %s" fingerprint))
+  | Some _ -> Error "malformed r line"
+
+let parse_w_line rest =
+  let parts = String.split_on_char ' ' rest in
+  let lookup prefix =
+    List.find_map
+      (fun p ->
+        if String.length p > String.length prefix && String.starts_with ~prefix p then
+          int_of_string_opt (String.sub p (String.length prefix) (String.length p - String.length prefix))
+        else None)
+      parts
+  in
+  match lookup "Bandwidth=" with
+  | None -> Error "w line missing Bandwidth="
+  | Some bw -> Ok (bw, lookup "Measured=")
+
+let parse text =
+  let st =
+    {
+      meta = [];
+      relays_rev = [];
+      r_line = None;
+      r_flags = None;
+      r_version = None;
+      r_protocols = None;
+      r_bandwidth = None;
+      r_policy = None;
+    }
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec consume = function
+    | [] -> Ok ()
+    | "" :: rest -> consume rest
+    | line :: rest ->
+        let keyword, payload =
+          match String.index_opt line ' ' with
+          | None -> (line, "")
+          | Some i -> (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+        in
+        let* () =
+          match keyword with
+          | "r" ->
+              let* () = flush_relay st in
+              st.r_line <- Some (String.split_on_char ' ' payload);
+              Ok ()
+          | "s" ->
+              let* flags = Flags.of_string payload in
+              st.r_flags <- Some flags;
+              Ok ()
+          | "v" ->
+              let version_text =
+                match String.index_opt payload ' ' with
+                | Some i -> String.sub payload (i + 1) (String.length payload - i - 1)
+                | None -> payload
+              in
+              let* v = Version.of_string version_text in
+              st.r_version <- Some v;
+              Ok ()
+          | "pr" ->
+              st.r_protocols <- Some payload;
+              Ok ()
+          | "w" ->
+              let* bw = parse_w_line payload in
+              st.r_bandwidth <- Some bw;
+              Ok ()
+          | "p" ->
+              let* policy = Exit_policy.of_string payload in
+              st.r_policy <- Some policy;
+              Ok ()
+          | "m" | "network-status-version" | "vote-status" | "consensus-method" -> Ok ()
+          | "directory-footer" -> flush_relay st
+          | key ->
+              st.meta <- (key, payload) :: st.meta;
+              Ok ()
+        in
+        consume rest
+  in
+  let* () = consume lines in
+  let* () = flush_relay st in
+  let* published = parse_timestamp st.meta "published" in
+  let* valid_after = parse_timestamp st.meta "valid-after" in
+  match List.assoc_opt "dir-source" st.meta with
+  | None -> Error "missing dir-source"
+  | Some src -> (
+      match String.split_on_char ' ' src with
+      | [ nickname; authority; fingerprint ] -> (
+          match int_of_string_opt authority with
+          | None -> Error "bad authority id in dir-source"
+          | Some authority -> (
+              match
+                create ~authority ~authority_fingerprint:fingerprint ~nickname
+                  ~published ~valid_after ~relays:(List.rev st.relays_rev)
+              with
+              | v -> Ok v
+              | exception Invalid_argument e -> Error e))
+      | _ -> Error "malformed dir-source")

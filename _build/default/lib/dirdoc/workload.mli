@@ -1,0 +1,68 @@
+(** Synthetic relay populations and per-authority views.
+
+    Substitutes for tornettools + live Tor consensus history (see
+    DESIGN.md §2).  A ground-truth population is sampled from
+    realistic property distributions; each authority then observes a
+    perturbed view of it — a few relays missed, bandwidth-measurement
+    jitter, occasional flag disagreement — so that votes differ across
+    authorities and the Figure 2 aggregation rules are actually
+    exercised. *)
+
+type divergence = {
+  missing_prob : float;     (** chance an authority misses a relay *)
+  bw_jitter : float;        (** relative stddev of measured bandwidth *)
+  flag_flip_prob : float;   (** chance one non-core flag flips *)
+  unmeasured_prob : float;  (** chance an authority has no measurement *)
+}
+
+val default_divergence : divergence
+(** 1% missing, 10% bandwidth jitter, 2% flag flips, 15% unmeasured —
+    in line with observed cross-authority vote deltas. *)
+
+val no_divergence : divergence
+(** Identical views; used by determinism tests. *)
+
+val relays : rng:Tor_sim.Rng.t -> n:int -> published:float -> Relay.t list
+(** [relays ~rng ~n ~published] samples [n] ground-truth relays with
+    distinct fingerprints: log-normal-ish bandwidths, ~35% exit
+    relays, guard/stable/fast flags correlated with bandwidth, a
+    current version mix. *)
+
+val authority_view :
+  rng:Tor_sim.Rng.t -> divergence:divergence -> Relay.t list -> Relay.t list
+(** One authority's perturbed observation of the ground truth. *)
+
+val votes :
+  rng:Tor_sim.Rng.t ->
+  ?divergence:divergence ->
+  keyring:Crypto.Keyring.t ->
+  n_authorities:int ->
+  n_relays:int ->
+  valid_after:float ->
+  unit ->
+  Vote.t array
+(** Generate one vote per authority over a shared ground truth.
+    Authority fingerprints come from [keyring]; vote [i] is indexed by
+    authority [i]. *)
+
+val authority_nickname : int -> string
+(** Stable human-readable names ("moria1", "tor26", ... for the first
+    nine, then "auth9", ...). *)
+
+type churn = {
+  leave_prob : float;    (** chance an existing relay disappears *)
+  join_frac : float;     (** new relays as a fraction of the population *)
+  rekey_prob : float;    (** chance a relay publishes a new descriptor *)
+}
+
+val default_churn : churn
+(** ~1.5% leave, ~1.5% join, 30% republish per hour — the live
+    network's hourly churn scale. *)
+
+val evolve :
+  rng:Tor_sim.Rng.t -> ?churn:churn -> published:float -> Relay.t list -> Relay.t list
+(** One hour of relay churn over a ground-truth population: some
+    relays leave, new ones join, and some republish their descriptor
+    (fresh published time and jittered bandwidth).  Feeding the result
+    back in simulates a live network across consensus hours; the
+    consdiff savings measurements use exactly this. *)

@@ -1,0 +1,1 @@
+lib/protocols/agreement.ml: Crypto Tor_sim

@@ -1,0 +1,1 @@
+lib/protocols/current_v3.ml: Array Crypto Dirdoc Float Fun List Printf Runenv Siground String Tor_sim Wire

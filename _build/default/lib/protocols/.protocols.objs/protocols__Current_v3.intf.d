@@ -1,0 +1,1 @@
+lib/protocols/current_v3.mli: Runenv

@@ -1,0 +1,1 @@
+lib/protocols/dolev_strong.ml: Crypto Int List Printf

@@ -1,0 +1,1 @@
+lib/protocols/dolev_strong.mli: Crypto

@@ -1,0 +1,1 @@
+lib/protocols/hotstuff.ml: Crypto Hashtbl Int List Option Printf Tor_sim Wire

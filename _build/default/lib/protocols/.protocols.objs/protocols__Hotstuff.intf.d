@@ -1,0 +1,1 @@
+lib/protocols/hotstuff.mli: Crypto Tor_sim

@@ -1,0 +1,1 @@
+lib/protocols/naive_retry.ml: Array Current_v3 Dirdoc List Option Printf Runenv

@@ -1,0 +1,1 @@
+lib/protocols/naive_retry.mli: Dirdoc Runenv

@@ -1,0 +1,1 @@
+lib/protocols/pbft.ml: Crypto Fun Hashtbl Int List Option Printf Tor_sim Wire

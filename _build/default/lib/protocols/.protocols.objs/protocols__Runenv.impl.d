@@ -1,0 +1,1 @@
+lib/protocols/runenv.ml: Array Crypto Dirdoc Float Fun List Option Tor_sim

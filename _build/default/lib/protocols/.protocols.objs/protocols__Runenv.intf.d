@@ -1,0 +1,1 @@
+lib/protocols/runenv.mli: Crypto Dirdoc Tor_sim

@@ -1,0 +1,1 @@
+lib/protocols/siground.ml: Crypto Dirdoc Hashtbl Tor_sim

@@ -1,0 +1,1 @@
+lib/protocols/siground.mli: Crypto Dirdoc Tor_sim

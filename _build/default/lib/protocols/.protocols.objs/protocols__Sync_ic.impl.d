@@ -1,0 +1,1 @@
+lib/protocols/sync_ic.ml: Array Crypto Dirdoc Float Fun Hashtbl Int List Printf Runenv Siground Tor_sim Wire

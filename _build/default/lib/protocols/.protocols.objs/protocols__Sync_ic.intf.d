@@ -1,0 +1,1 @@
+lib/protocols/sync_ic.mli: Runenv

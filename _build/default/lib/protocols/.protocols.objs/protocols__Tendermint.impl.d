@@ -1,0 +1,1 @@
+lib/protocols/tendermint.ml: Crypto Hashtbl Int List Option Printf Tor_sim Wire

@@ -1,0 +1,1 @@
+lib/protocols/tendermint.mli: Agreement

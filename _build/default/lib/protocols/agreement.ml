@@ -1,0 +1,42 @@
+(** The pluggable agreement-engine interface (paper §5.2.2: "we can
+    utilize any view-based consensus protocol, such as PBFT,
+    Tendermint, or HotStuff").
+
+    {!Hotstuff} and {!Tendermint} both satisfy [S]; the core protocol
+    is a functor over it, so the dissemination and aggregation
+    sub-protocols run unchanged over either engine. *)
+
+module type S = sig
+  type 'v t
+  type 'v msg
+
+  type 'v callbacks = {
+    now : unit -> Tor_sim.Simtime.t;
+    schedule : Tor_sim.Simtime.t -> (unit -> unit) -> Tor_sim.Engine.handle;
+    send : dst:int -> 'v msg -> unit;
+    validate : 'v -> bool;
+    value_digest : 'v -> Crypto.Digest32.t;
+    proposal : unit -> 'v option;
+    decide : view:int -> 'v -> unit;
+    on_view : view:int -> unit;
+    log : string -> unit;
+  }
+
+  val name : string
+
+  val create :
+    keyring:Crypto.Keyring.t ->
+    n:int ->
+    id:int ->
+    ?view_timeout:Tor_sim.Simtime.t ->
+    'v callbacks ->
+    'v t
+
+  val start : 'v t -> unit
+  val handle : 'v t -> src:int -> 'v msg -> unit
+  val notify_ready : 'v t -> unit
+  val decided : 'v t -> 'v option
+  val current_view : 'v t -> int
+  val leader : n:int -> view:int -> int
+  val msg_size : value_size:('v -> int) -> 'v msg -> int
+end

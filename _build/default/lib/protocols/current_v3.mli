@@ -1,0 +1,28 @@
+(** The currently deployed Tor directory protocol, version 3
+    (dir-spec; Figure 4 of the paper).
+
+    Four lock-step rounds of 150 s each, started hourly:
+
+    + round 1 — every authority pushes its vote to every other;
+    + round 2 — authorities fetch any votes they are still missing
+      from {e every} other authority (the duplication that inflates
+      traffic under constrained bandwidth);
+    + round 3 — each authority aggregates the votes it holds
+      (Figure 2 rules), signs the resulting consensus document, and
+      pushes the signature;
+    + round 4 — missing signatures are fetched.
+
+    An authority computes a consensus only if it holds votes from a
+    majority of authorities at t = 300 s; the document is valid only
+    with a majority of matching signatures.  Both the bounded-synchrony
+    assumption and the failure log lines of Figure 1 live here. *)
+
+val name : string
+
+val round_seconds : float
+(** 150 s — the deployed bounded-synchrony parameter Δ. *)
+
+val run : Runenv.t -> Runenv.run_result
+(** Simulate one consensus attempt.  The returned per-authority
+    results carry the computed documents, signature counts, and
+    latency metrics; the trace contains Tor-style log lines. *)

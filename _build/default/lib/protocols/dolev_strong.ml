@@ -1,0 +1,73 @@
+module Signature = Crypto.Signature
+module Digest32 = Crypto.Digest32
+
+type 'v outcome = Value of 'v | Bottom
+
+type 'v relay = { value : 'v; chain : Signature.t list }
+
+type 'v node = {
+  keyring : Crypto.Keyring.t;
+  n : int;
+  f : int;
+  id : int;
+  sender : int;
+  digest : 'v -> Digest32.t;
+  mutable extracted : (Digest32.t * 'v) list; (* at most 2 kept *)
+}
+
+let rounds ~f = f + 1
+
+let create ~keyring ~n ~f ~id ~sender ~digest =
+  if f < 0 || f >= n then invalid_arg "Dolev_strong.create: need 0 <= f < n";
+  if id < 0 || id >= n || sender < 0 || sender >= n then
+    invalid_arg "Dolev_strong.create: id out of range";
+  { keyring; n; f; id; sender; digest; extracted = [] }
+
+let payload t d = Printf.sprintf "dsb|%d|%s" t.sender (Digest32.raw d)
+
+let initial_broadcast t value =
+  if t.id <> t.sender then invalid_arg "Dolev_strong.initial_broadcast: not the sender";
+  let d = t.digest value in
+  t.extracted <- [ (d, value) ];
+  { value; chain = [ Signature.sign t.keyring ~signer:t.id (payload t d) ] }
+
+(* A chain received in round r is valid if it has exactly r distinct
+   signers, the first being the sender, all covering the value. *)
+let chain_valid t ~round { value; chain } =
+  List.length chain >= round
+  && (match chain with
+     | first :: _ -> first.Signature.signer = t.sender
+     | [] -> false)
+  && (let signers = List.map (fun s -> s.Signature.signer) chain in
+      List.length (List.sort_uniq Int.compare signers) = List.length chain)
+  &&
+  let p = payload t (t.digest value) in
+  List.for_all (fun s -> Signature.verify t.keyring s p) chain
+
+let receive t ~round relay =
+  if round < 1 || round > rounds ~f:t.f then None
+  else if not (chain_valid t ~round relay) then None
+  else
+    let d = t.digest relay.value in
+    if List.exists (fun (d', _) -> Digest32.equal d d') t.extracted then None
+    else if List.length t.extracted >= 2 then None (* equivocation already proven *)
+    else begin
+      t.extracted <- (d, relay.value) :: t.extracted;
+      (* Forward with our signature, unless we are in the final round
+         or have already signed this chain. *)
+      let already_signed =
+        List.exists (fun s -> s.Signature.signer = t.id) relay.chain
+      in
+      if round >= rounds ~f:t.f || already_signed then None
+      else
+        Some
+          {
+            relay with
+            chain = relay.chain @ [ Signature.sign t.keyring ~signer:t.id (payload t d) ];
+          }
+    end
+
+let output t =
+  match t.extracted with [ (_, v) ] -> Value v | [] | _ :: _ -> Bottom
+
+let extracted t = List.rev_map snd t.extracted

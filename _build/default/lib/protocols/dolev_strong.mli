@@ -1,0 +1,60 @@
+(** Dolev-Strong authenticated broadcast (SIAM J. Comput. 1983) — the
+    primitive behind Luo et al.'s synchronous directory protocol.
+
+    A designated sender broadcasts a value; over [f + 1] lock-step
+    rounds, nodes relay every newly accepted value with their signature
+    appended.  A value is {e extracted} in round [r] only if its chain
+    carries [r] distinct signatures starting with the sender's, which
+    guarantees that anything a correct node extracts in the final round
+    has already reached every other correct node.  At the end, a node
+    outputs the single extracted value, or ⊥ if none or several were
+    extracted (the sender equivocated or stayed silent).
+
+    This module is a pure state machine over abstract rounds; the
+    network layer decides the round length (150 s in Tor's setting).
+    It is exercised directly by the unit tests and documents the
+    round/extraction rules {!Sync_ic} compresses into Tor's four-round
+    schedule. *)
+
+type 'v outcome =
+  | Value of 'v   (** all correct nodes output this value *)
+  | Bottom        (** sender silent or caught equivocating *)
+
+type 'v node
+
+type 'v relay = { value : 'v; chain : Crypto.Signature.t list }
+(** A value with its signature chain, as carried on the wire. *)
+
+val create :
+  keyring:Crypto.Keyring.t ->
+  n:int ->
+  f:int ->
+  id:int ->
+  sender:int ->
+  digest:('v -> Crypto.Digest32.t) ->
+  'v node
+(** One participant.  Raises [Invalid_argument] unless
+    [0 <= f < n] and ids are in range. *)
+
+val rounds : f:int -> int
+(** The protocol runs [f + 1] rounds, numbered [1 .. f+1]. *)
+
+val initial_broadcast : 'v node -> 'v -> 'v relay
+(** Called on the sender before round 1: sign the value, producing the
+    relay message to send to everyone.  Raises [Invalid_argument] if
+    this node is not the sender. *)
+
+val receive : 'v node -> round:int -> 'v relay -> 'v relay option
+(** Process a relay received during [round].  Returns [Some msg] if
+    the value was newly extracted and must be forwarded to all nodes
+    (with this node's signature appended) — forwarding happens in
+    round [round + 1] and is suppressed automatically in the last
+    round.  Invalid chains (wrong sender, too few signatures for the
+    round, duplicate or bogus signers) are ignored. *)
+
+val output : 'v node -> 'v outcome
+(** The decision after round [f + 1]. *)
+
+val extracted : 'v node -> 'v list
+(** Values extracted so far (0, 1, or 2 — extraction stops caring
+    after two, which already proves equivocation). *)

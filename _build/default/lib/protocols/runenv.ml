@@ -1,0 +1,133 @@
+module Sim = Tor_sim
+
+type attack = {
+  node : int;
+  start : Sim.Simtime.t;
+  stop : Sim.Simtime.t;
+  bits_per_sec : float;
+}
+
+type behavior = Honest | Silent | Equivocating
+
+type t = {
+  n : int;
+  keyring : Crypto.Keyring.t;
+  topology : Sim.Topology.t;
+  votes : Dirdoc.Vote.t array;
+  valid_after : float;
+  bandwidth_bits_per_sec : float;
+  attacks : attack list;
+  behaviors : behavior array;
+  horizon : Sim.Simtime.t;
+}
+
+let default_valid_after =
+  match Dirdoc.Timefmt.of_string "2026-01-01 01:00:00" with
+  | Ok t -> t
+  | Error _ -> assert false
+
+let make ?(seed = "torpartial") ?(valid_after = default_valid_after) ?(n = 9)
+    ?(n_relays = 1000) ?(bandwidth_bits_per_sec = 250e6) ?(attacks = []) ?behaviors
+    ?divergence ?(horizon = 7200.) ?votes () =
+  let keyring = Crypto.Keyring.create ~seed ~n () in
+  let rng = Sim.Rng.of_string_seed seed in
+  let topology = Sim.Topology.realistic ~n ~rng:(Sim.Rng.split rng) in
+  let votes =
+    match votes with
+    | Some v ->
+        if Array.length v <> n then invalid_arg "Runenv.make: votes length mismatch";
+        v
+    | None ->
+        Dirdoc.Workload.votes ~rng ?divergence ~keyring ~n_authorities:n ~n_relays
+          ~valid_after ()
+  in
+  let behaviors =
+    match behaviors with
+    | Some b ->
+        if Array.length b <> n then invalid_arg "Runenv.make: behaviors length mismatch";
+        b
+    | None -> Array.make n Honest
+  in
+  List.iter
+    (fun a ->
+      if a.node < 0 || a.node >= n then invalid_arg "Runenv.make: attack node out of range";
+      if a.stop < a.start then invalid_arg "Runenv.make: attack stops before it starts";
+      if a.bits_per_sec < 0. then invalid_arg "Runenv.make: negative residual bandwidth")
+    attacks;
+  {
+    n;
+    keyring;
+    topology;
+    votes;
+    valid_after;
+    bandwidth_bits_per_sec;
+    attacks;
+    behaviors;
+    horizon;
+  }
+
+type authority_result = {
+  consensus : Dirdoc.Consensus.t option;
+  signatures : int;
+  decided_at : Sim.Simtime.t option;
+  network_time : Sim.Simtime.t option;
+}
+
+type run_result = {
+  protocol : string;
+  per_authority : authority_result array;
+  stats : Sim.Stats.t;
+  trace : Sim.Trace.t;
+}
+
+let majority ~n = (n / 2) + 1
+
+let honest_results env result =
+  List.filter_map
+    (fun i ->
+      if env.behaviors.(i) = Honest then Some result.per_authority.(i) else None)
+    (List.init env.n Fun.id)
+
+let success env result =
+  let need = majority ~n:env.n in
+  let decided =
+    List.filter_map
+      (fun (r : authority_result) ->
+        match r.consensus with
+        | Some c when r.signatures >= need -> Some (Dirdoc.Consensus.digest c)
+        | _ -> None)
+      (honest_results env result)
+  in
+  match decided with
+  | [] -> false
+  | first :: _ ->
+      List.length decided >= need
+      && List.for_all (Crypto.Digest32.equal first) decided
+
+let agreement_holds env result =
+  let digests =
+    List.filter_map
+      (fun (r : authority_result) -> Option.map Dirdoc.Consensus.digest r.consensus)
+      (honest_results env result)
+  in
+  match digests with
+  | [] -> true
+  | first :: rest -> List.for_all (Crypto.Digest32.equal first) rest
+
+let fold_max_over f result =
+  Array.fold_left
+    (fun acc r ->
+      match f r with
+      | None -> acc
+      | Some t -> Some (match acc with None -> t | Some a -> Float.max a t))
+    None result.per_authority
+
+let success_latency result = fold_max_over (fun r -> r.network_time) result
+let decided_at_latest result = fold_max_over (fun r -> r.decided_at) result
+
+let apply_attacks env net =
+  List.iter
+    (fun a ->
+      Sim.Net.limit_node net ~node:a.node ~start:a.start ~stop:a.stop
+        ~bits_per_sec:a.bits_per_sec)
+    env.attacks

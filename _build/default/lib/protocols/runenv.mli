@@ -1,0 +1,93 @@
+(** Shared run environment and result types for protocol simulations.
+
+    Every protocol implementation (current v3, Luo et al.'s
+    synchronous fix, and the paper's partial-synchrony protocol)
+    consumes a [Runenv.t] and produces a [run_result], so the benches
+    can sweep bandwidths, relay counts, and attacks uniformly. *)
+
+type attack = {
+  node : int;
+  start : Tor_sim.Simtime.t;
+  stop : Tor_sim.Simtime.t;
+  bits_per_sec : float; (** residual bandwidth during the window *)
+}
+
+type behavior =
+  | Honest
+  | Silent        (** sends nothing at all — a crashed authority *)
+  | Equivocating  (** sends conflicting documents to different peers *)
+
+type t = {
+  n : int;
+  keyring : Crypto.Keyring.t;
+  topology : Tor_sim.Topology.t;
+  votes : Dirdoc.Vote.t array;       (** input vote of each authority *)
+  valid_after : float;
+  bandwidth_bits_per_sec : float;    (** base NIC rate, all authorities *)
+  attacks : attack list;
+  behaviors : behavior array;
+  horizon : Tor_sim.Simtime.t;       (** stop simulating at this time *)
+}
+
+val make :
+  ?seed:string ->
+  ?valid_after:float ->
+  ?n:int ->
+  ?n_relays:int ->
+  ?bandwidth_bits_per_sec:float ->
+  ?attacks:attack list ->
+  ?behaviors:behavior array ->
+  ?divergence:Dirdoc.Workload.divergence ->
+  ?horizon:Tor_sim.Simtime.t ->
+  ?votes:Dirdoc.Vote.t array ->
+  unit ->
+  t
+(** Build an environment: 9 authorities at 250 Mbit/s with realistic
+    latencies by default, votes generated from a seeded workload
+    (pass [votes] to reuse a population across configurations), and
+    the consensus hour anchored at [valid_after] (default
+    {!default_valid_after}).  Raises [Invalid_argument] on
+    inconsistent array lengths. *)
+
+(** Outcome of one authority at the end of a run. *)
+type authority_result = {
+  consensus : Dirdoc.Consensus.t option;  (** document it computed *)
+  signatures : int;          (** matching signatures it holds (incl. own) *)
+  decided_at : Tor_sim.Simtime.t option;
+      (** when it held the document plus a majority of signatures *)
+  network_time : Tor_sim.Simtime.t option;
+      (** the paper's latency metric: summed per-round network time *)
+}
+
+type run_result = {
+  protocol : string;
+  per_authority : authority_result array;
+  stats : Tor_sim.Stats.t;
+  trace : Tor_sim.Trace.t;
+}
+
+val majority : n:int -> int
+(** [n / 2 + 1] — signatures needed for a valid consensus document. *)
+
+val success : t -> run_result -> bool
+(** A run succeeds when at least a majority of honest authorities
+    produced the same consensus document carrying at least a majority
+    of signatures. *)
+
+val agreement_holds : t -> run_result -> bool
+(** No two honest authorities decided different documents (vacuously
+    true when fewer than two decided). *)
+
+val success_latency : run_result -> Tor_sim.Simtime.t option
+(** Largest [network_time] among deciding authorities — the series
+    plotted in Figure 10. *)
+
+val decided_at_latest : run_result -> Tor_sim.Simtime.t option
+(** Largest [decided_at] among deciding authorities — the recovery
+    time plotted in Figure 11. *)
+
+val apply_attacks : t -> 'm Tor_sim.Net.t -> unit
+(** Install every attack window on the network's NICs. *)
+
+val default_valid_after : float
+(** POSIX time of the simulated consensus hour (2026-01-01 01:00). *)

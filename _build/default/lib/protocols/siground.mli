@@ -1,0 +1,32 @@
+(** Consensus-signature bookkeeping shared by every protocol.
+
+    All three directory protocols end the same way: each authority
+    signs the consensus document it computed and collects matching
+    signatures from its peers; the document is valid once a majority
+    signed the same digest.  This module holds that per-authority
+    state. *)
+
+type t
+
+val create : keyring:Crypto.Keyring.t -> node:int -> need:int -> t
+(** [need] is the signature count that makes the document valid
+    (majority of all authorities). *)
+
+val set_consensus : t -> now:Tor_sim.Simtime.t -> Dirdoc.Consensus.t -> Crypto.Signature.t
+(** Record the locally computed document, self-sign it, and return the
+    signature for broadcasting.  Raises [Invalid_argument] if a
+    different document was already set. *)
+
+val consensus : t -> Dirdoc.Consensus.t option
+
+val store :
+  t -> now:Tor_sim.Simtime.t -> digest:Crypto.Digest32.t -> Crypto.Signature.t -> unit
+(** Accept a peer signature iff it verifies against our document's
+    signing payload and matches our digest; duplicates are ignored. *)
+
+val my_signature : t -> Crypto.Signature.t option
+val count : t -> int
+
+val decided_at : t -> Tor_sim.Simtime.t option
+(** When the signature count first reached [need] (with a document
+    held). *)

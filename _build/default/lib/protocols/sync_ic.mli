@@ -1,0 +1,21 @@
+(** Luo et al.'s synchronous directory protocol (S&P 2024; Figure 5 of
+    this paper).
+
+    Interactive consistency via Dolev-Strong-style authenticated
+    echo broadcast under the same 4x150 s lock-step schedule as the
+    deployed protocol: during the first two rounds every authority
+    broadcasts its vote with a signature chain, and echoes each vote it
+    accepts (once) with its own signature appended.  Equivocation by a
+    sender — two validly signed conflicting votes — is detected and the
+    sender's vote excluded, which is what repairs the attack of Luo et
+    al.; the echoing is also what raises communication to
+    O(n^3 d + n^4 kappa) (Table 1) and makes this protocol fail at lower
+    relay counts than the deployed one (Figure 10).
+
+    The bounded-synchrony assumption (Delta = 150 s) is inherited
+    unchanged, so the DDoS attack of Section 4 breaks this protocol
+    too. *)
+
+val name : string
+
+val run : Runenv.t -> Runenv.run_result

@@ -1,0 +1,10 @@
+let request_bytes = 512
+let control_bytes = 256
+let signature_bytes = Crypto.Signature.wire_size + 128
+let digest_bytes = Crypto.Digest32.wire_size
+
+let vote_push_bytes ~n_relays = Dirdoc.Vote.wire_size_for ~n_relays + control_bytes
+
+let consensus_bytes ~n_entries = 1536 + (220 * n_entries) + control_bytes
+
+let dir_connection_timeout = 60.

@@ -1,0 +1,1 @@
+lib/sim/rng.ml: Array Char Crypto Float Int64 List String

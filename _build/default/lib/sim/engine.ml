@@ -1,0 +1,40 @@
+type handle = { mutable cancelled : bool; action : unit -> unit }
+
+type t = { mutable clock : Simtime.t; queue : handle Event_queue.t }
+
+let create () = { clock = Simtime.zero; queue = Event_queue.create () }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  if at < t.clock then invalid_arg "Engine.schedule: time is in the past";
+  let h = { cancelled = false; action } in
+  Event_queue.push t.queue ~time:at h;
+  h
+
+let schedule_in t ~after action =
+  if after < 0. then invalid_arg "Engine.schedule_in: negative delay";
+  schedule t ~at:(Simtime.add t.clock after) action
+
+let cancel h = h.cancelled <- true
+
+let run ?until t =
+  let horizon = Option.value until ~default:Simtime.never in
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | None -> ()
+    | Some time when time > horizon -> ()
+    | Some _ ->
+        (match Event_queue.pop t.queue with
+        | None -> ()
+        | Some (time, h) ->
+            t.clock <- time;
+            if not h.cancelled then h.action ());
+        loop ()
+  in
+  loop ();
+  match until with
+  | Some u when t.clock < u && not (Simtime.is_infinite u) -> t.clock <- u
+  | _ -> ()
+
+let pending t = Event_queue.size t.queue

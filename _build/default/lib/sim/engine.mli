@@ -1,0 +1,34 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the clock and a queue of scheduled thunks.
+    Protocols never read wall-clock time; everything observable happens
+    inside a scheduled event, which makes runs deterministic. *)
+
+type t
+
+type handle
+(** A scheduled event that can still be cancelled. *)
+
+val create : unit -> t
+
+val now : t -> Simtime.t
+(** Current simulated time. *)
+
+val schedule : t -> at:Simtime.t -> (unit -> unit) -> handle
+(** [schedule t ~at f] runs [f] at absolute time [at].  Raises
+    [Invalid_argument] if [at] is in the past. *)
+
+val schedule_in : t -> after:Simtime.t -> (unit -> unit) -> handle
+(** [schedule_in t ~after f] runs [f] after a relative delay. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event; cancelling a fired or already-cancelled
+    event is a no-op. *)
+
+val run : ?until:Simtime.t -> t -> unit
+(** Execute events in time order until the queue drains or the next
+    event lies strictly beyond [until].  The clock ends at the last
+    executed event (or at [until] when given and reached). *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled husks). *)

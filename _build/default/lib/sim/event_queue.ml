@@ -1,0 +1,71 @@
+type 'a entry = { time : Simtime.t; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable dummy : 'a entry option; (* sentinel reused for vacated slots *)
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; dummy = None }
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q entry =
+  let capacity = Array.length q.heap in
+  if q.size = capacity then begin
+    let fresh = Array.make (max 16 (capacity * 2)) entry in
+    Array.blit q.heap 0 fresh 0 q.size;
+    q.heap <- fresh
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && precedes q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && precedes q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q ~time payload =
+  if Float.is_nan time || Simtime.is_infinite time then
+    invalid_arg "Event_queue.push: time must be finite";
+  let entry = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.dummy = None then q.dummy <- Some entry;
+  grow q entry;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      (match q.dummy with Some d -> q.heap.(q.size) <- d | None -> ());
+      sift_down q 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let size q = q.size
+let is_empty q = q.size = 0

@@ -1,0 +1,22 @@
+(** Binary-heap priority queue of timestamped events.
+
+    Events at equal times pop in insertion order (the sequence number
+    breaks ties), which keeps the simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:Simtime.t -> 'a -> unit
+(** [push q ~time e] enqueues [e] at [time].  Raises
+    [Invalid_argument] on a non-finite or NaN time. *)
+
+val pop : 'a t -> (Simtime.t * 'a) option
+(** Remove and return the earliest event, insertion-ordered within
+    equal times. *)
+
+val peek_time : 'a t -> Simtime.t option
+(** Time of the earliest event without removing it. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

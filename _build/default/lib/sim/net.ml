@@ -1,0 +1,76 @@
+type 'm t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  nics : Nic.t array; (* one shared NIC per node: egress and ingress *)
+  stats : Stats.t;
+  mutable handler : (dst:int -> src:int -> 'm -> unit) option;
+}
+
+let create ~engine ~topology ~bits_per_sec () =
+  let n = Topology.n topology in
+  {
+    engine;
+    topology;
+    nics = Array.init n (fun _ -> Nic.create ~bits_per_sec ());
+    stats = Stats.create ~n;
+    handler = None;
+  }
+
+let n t = Topology.n t.topology
+let engine t = t.engine
+let stats t = t.stats
+
+let check_node t id name =
+  if id < 0 || id >= n t then invalid_arg ("Net." ^ name ^ ": node out of range")
+
+let nic t id =
+  check_node t id "nic";
+  t.nics.(id)
+
+let set_handler t f = t.handler <- Some f
+
+let deliver t ~dst ~src msg =
+  match t.handler with
+  | None -> failwith "Net.deliver: no handler installed"
+  | Some f -> f ~dst ~src msg
+
+let send t ~src ~dst ~size ?label ?deadline msg =
+  check_node t src "send";
+  check_node t dst "send";
+  if size < 0 then invalid_arg "Net.send: negative size";
+  let now = Engine.now t.engine in
+  if src = dst then
+    (* Local delivery: no bandwidth cost, but still asynchronous so
+       handlers never reenter the caller. *)
+    ignore (Engine.schedule t.engine ~at:now (fun () -> deliver t ~dst ~src msg))
+  else begin
+    Stats.record_sent t.stats ~node:src ~bytes:size ?label ();
+    let egress_done = Nic.reserve t.nics.(src) ~now ~bytes:size in
+    if Simtime.is_infinite egress_done then Stats.record_dropped t.stats
+    else
+      let arrival = Simtime.add egress_done (Topology.latency t.topology ~src ~dst) in
+      (* Reserve the receiver's NIC when the message arrives, so ingress
+         reservations happen in arrival order, not send order. *)
+      ignore
+        (Engine.schedule t.engine ~at:arrival (fun () ->
+             let finish = Nic.reserve t.nics.(dst) ~now:arrival ~bytes:size in
+             if Simtime.is_infinite finish then Stats.record_dropped t.stats
+             else
+               let expired =
+                 match deadline with Some d -> finish -. now > d | None -> false
+               in
+               ignore
+                 (Engine.schedule t.engine ~at:finish (fun () ->
+                      Stats.record_received t.stats ~node:dst ~bytes:size;
+                      if expired then Stats.record_dropped t.stats
+                      else deliver t ~dst ~src msg))))
+  end
+
+let broadcast t ~src ~size ?label ?deadline msg =
+  for dst = 0 to n t - 1 do
+    if dst <> src then send t ~src ~dst ~size ?label ?deadline msg
+  done
+
+let limit_node t ~node ~start ~stop ~bits_per_sec =
+  check_node t node "limit_node";
+  Nic.limit_window t.nics.(node) ~start ~stop ~bits_per_sec

@@ -1,0 +1,56 @@
+(** Point-to-point message network over NICs and a latency matrix.
+
+    Delivery of a [size]-byte message from [src] to [dst]:
+    FIFO egress serialization on [src]'s NIC, then propagation latency,
+    then FIFO ingress serialization on [dst]'s NIC (reserved in arrival
+    order).  Each node has a single NIC shared by both directions,
+    modelling a DDoS-saturated access link whose residual capacity is
+    one budget (the per-node bandwidth the paper's Shadow runs
+    configure).  Channels are reliable: a message outlives a DDoS window
+    and drains when bandwidth returns, modelling TCP retransmission —
+    the partial-synchrony "eventual delivery" abstraction.  A message
+    is dropped only if a NIC's rate is zero with no future breakpoint.
+
+    The payload type ['m] is chosen by the protocol layered on top. *)
+
+type 'm t
+
+val create :
+  engine:Engine.t ->
+  topology:Topology.t ->
+  bits_per_sec:float ->
+  unit ->
+  'm t
+(** All NICs start at the given uniform rate; per-node adjustments go
+    through {!nic}. *)
+
+val n : 'm t -> int
+val engine : 'm t -> Engine.t
+val stats : 'm t -> Stats.t
+
+val nic : 'm t -> int -> Nic.t
+(** The node's shared NIC. *)
+
+val set_handler : 'm t -> (dst:int -> src:int -> 'm -> unit) -> unit
+(** Install the delivery callback.  Must be set before any delivery
+    fires; the last installed handler wins. *)
+
+val send :
+  'm t -> src:int -> dst:int -> size:int -> ?label:string -> ?deadline:Simtime.t -> 'm -> unit
+(** Enqueue a message.  Self-sends deliver after a scheduling tick with
+    no bandwidth cost.  [deadline] models a transport-level connection
+    timeout (Tor's directory client): if delivery would complete more
+    than [deadline] seconds after the send, the message is dropped —
+    the bytes are still charged to both NICs, as they were transmitted
+    into the flood.  Raises [Invalid_argument] on bad node ids or a
+    negative size. *)
+
+val broadcast :
+  'm t -> src:int -> size:int -> ?label:string -> ?deadline:Simtime.t -> 'm -> unit
+(** [broadcast] sends to every node except [src] (ascending id order,
+    one egress reservation each, as n-1 unicasts — Tor has no
+    multicast). *)
+
+val limit_node :
+  'm t -> node:int -> start:Simtime.t -> stop:Simtime.t -> bits_per_sec:float -> unit
+(** Cap [node]'s NIC during a window; the DDoS primitive. *)

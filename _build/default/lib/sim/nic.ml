@@ -1,0 +1,74 @@
+type t = {
+  base_rate : float; (* bytes per second before the first breakpoint *)
+  mutable breakpoints : (Simtime.t * float) list; (* reversed: newest first *)
+  mutable busy_until : Simtime.t;
+}
+
+let bytes_rate bits = bits /. 8.
+
+let create ~bits_per_sec () =
+  if bits_per_sec < 0. then invalid_arg "Nic.create: negative rate";
+  { base_rate = bytes_rate bits_per_sec; breakpoints = []; busy_until = Simtime.zero }
+
+let last_breakpoint_time t =
+  match t.breakpoints with [] -> Simtime.zero | (time, _) :: _ -> time
+
+let set_rate t ~from ~bits_per_sec =
+  if bits_per_sec < 0. then invalid_arg "Nic.set_rate: negative rate";
+  if from < last_breakpoint_time t then
+    invalid_arg "Nic.set_rate: breakpoints must be appended in time order";
+  t.breakpoints <- (from, bytes_rate bits_per_sec) :: t.breakpoints
+
+(* Rate in bytes/s in effect at [time]. *)
+let byte_rate_at t time =
+  let rec find = function
+    | [] -> t.base_rate
+    | (from, rate) :: older -> if time >= from then rate else find older
+  in
+  find t.breakpoints
+
+let rate_at t time = byte_rate_at t time *. 8.
+
+let limit_window t ~start ~stop ~bits_per_sec =
+  if stop < start then invalid_arg "Nic.limit_window: stop before start";
+  let restored = byte_rate_at t stop *. 8. in
+  set_rate t ~from:start ~bits_per_sec;
+  set_rate t ~from:stop ~bits_per_sec:restored
+
+(* Next breakpoint strictly after [time], if any. *)
+let next_change t time =
+  List.fold_left
+    (fun acc (from, _) -> if from > time then Some (match acc with None -> from | Some a -> Float.min a from) else acc)
+    None t.breakpoints
+
+(* Walk the piecewise-constant schedule consuming [bytes] starting at
+   [start]; returns the completion time. *)
+let finish_time t ~start ~bytes =
+  let rec go time remaining =
+    if remaining <= 0. then time
+    else
+      let rate = byte_rate_at t time in
+      match next_change t time with
+      | None ->
+          if rate <= 0. then Simtime.never else time +. (remaining /. rate)
+      | Some change ->
+          if rate <= 0. then go change remaining
+          else
+            let capacity = rate *. (change -. time) in
+            if remaining <= capacity then time +. (remaining /. rate)
+            else go change (remaining -. capacity)
+  in
+  go start (float_of_int bytes)
+
+let transfer_time t ~now ~bytes =
+  if bytes < 0 then invalid_arg "Nic.transfer_time: negative size";
+  let start = Float.max now t.busy_until in
+  if Simtime.is_infinite start then Simtime.never
+  else finish_time t ~start ~bytes
+
+let reserve t ~now ~bytes =
+  let finish = transfer_time t ~now ~bytes in
+  t.busy_until <- finish;
+  finish
+
+let busy_until t = t.busy_until

@@ -1,0 +1,41 @@
+(** Deterministic SplitMix64 PRNG.
+
+    Every source of randomness in the reproduction flows through an
+    explicit [Rng.t] so that simulations are bit-reproducible from a
+    seed, which the determinism tests rely on. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a generator seeded with [seed]. *)
+
+val of_string_seed : string -> t
+(** [of_string_seed s] derives a seed by hashing [s]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val range : t -> min:int -> max:int -> int
+(** [range t ~min ~max] is uniform in [\[min, max\]] inclusive. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box-Muller normal deviate. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice.  Raises [Invalid_argument] on an empty list. *)
+
+val split : t -> t
+(** [split t] is an independent child generator; both streams remain
+    deterministic. *)

@@ -1,0 +1,50 @@
+type t = {
+  bytes_sent : int array;
+  bytes_received : int array;
+  messages_sent : int array;
+  mutable dropped : int;
+  by_label : (string, int) Hashtbl.t;
+}
+
+let create ~n =
+  {
+    bytes_sent = Array.make n 0;
+    bytes_received = Array.make n 0;
+    messages_sent = Array.make n 0;
+    dropped = 0;
+    by_label = Hashtbl.create 16;
+  }
+
+let n t = Array.length t.bytes_sent
+
+let record_sent t ~node ~bytes ?label () =
+  t.bytes_sent.(node) <- t.bytes_sent.(node) + bytes;
+  t.messages_sent.(node) <- t.messages_sent.(node) + 1;
+  match label with
+  | None -> ()
+  | Some l ->
+      let current = Option.value (Hashtbl.find_opt t.by_label l) ~default:0 in
+      Hashtbl.replace t.by_label l (current + bytes)
+
+let record_received t ~node ~bytes =
+  t.bytes_received.(node) <- t.bytes_received.(node) + bytes
+
+let record_dropped t = t.dropped <- t.dropped + 1
+
+let bytes_sent t node = t.bytes_sent.(node)
+let bytes_received t node = t.bytes_received.(node)
+let messages_sent t node = t.messages_sent.(node)
+let dropped t = t.dropped
+let total_bytes_sent t = Array.fold_left ( + ) 0 t.bytes_sent
+let label_bytes t l = Option.value (Hashtbl.find_opt t.by_label l) ~default:0
+
+let labels t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_label []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Array.fill t.bytes_sent 0 (n t) 0;
+  Array.fill t.bytes_received 0 (n t) 0;
+  Array.fill t.messages_sent 0 (n t) 0;
+  t.dropped <- 0;
+  Hashtbl.reset t.by_label

@@ -1,0 +1,31 @@
+(** Per-node traffic accounting.
+
+    Table 1 of the paper compares protocols by communication
+    complexity; these counters measure actual bytes on the simulated
+    wire, optionally broken down by message label. *)
+
+type t
+
+val create : n:int -> t
+
+val n : t -> int
+
+val record_sent : t -> node:int -> bytes:int -> ?label:string -> unit -> unit
+val record_received : t -> node:int -> bytes:int -> unit
+val record_dropped : t -> unit
+
+val bytes_sent : t -> int -> int
+val bytes_received : t -> int -> int
+val messages_sent : t -> int -> int
+val dropped : t -> int
+
+val total_bytes_sent : t -> int
+(** Sum over all nodes; the paper's communication-complexity metric. *)
+
+val label_bytes : t -> string -> int
+(** Bytes attributed to a message label ([0] for unknown labels). *)
+
+val labels : t -> (string * int) list
+(** All labels with their byte counts, sorted by label. *)
+
+val reset : t -> unit

@@ -1,0 +1,33 @@
+(** Summary statistics for experiment results.
+
+    Used by the benches to report more than raw rows: percentile
+    latencies, and log-log power-law fits that check the measured
+    communication complexity against the paper's Table 1 exponents
+    (e.g. the synchronous protocol's bytes should grow as ~n³). *)
+
+val mean : float list -> float
+(** Raises [Invalid_argument] on an empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation.  Raises on empty. *)
+
+val percentile : float list -> p:float -> float
+(** Nearest-rank percentile, [p] in [\[0, 100\]].  Raises on an empty
+    list or out-of-range [p]. *)
+
+val median : float list -> float
+
+type fit = {
+  slope : float;      (** exponent of the fitted power law *)
+  intercept : float;  (** log-space intercept *)
+  r_squared : float;  (** goodness of fit *)
+}
+
+val linear_fit : (float * float) list -> fit
+(** Ordinary least squares over [(x, y)] pairs.  Raises
+    [Invalid_argument] with fewer than two points or zero variance
+    in x. *)
+
+val power_law_fit : (float * float) list -> fit
+(** Fit [y = c·x^slope] by OLS in log-log space.  All coordinates must
+    be positive. *)

@@ -1,0 +1,28 @@
+type level = Notice | Info | Warn
+
+type record = { time : Simtime.t; node : int option; level : level; text : string }
+
+type t = { mutable records : record list (* newest first *) }
+
+let create () = { records = [] }
+
+let log t ~time ?node level text = t.records <- { time; node; level; text } :: t.records
+
+let logf t ~time ?node level fmt =
+  Format.kasprintf (fun text -> log t ~time ?node level text) fmt
+
+let records t = List.rev t.records
+
+let for_node t node =
+  List.filter (fun r -> r.node = Some node) (records t)
+
+let level_string = function Notice -> "notice" | Info -> "info" | Warn -> "warn"
+
+let render r =
+  Format.asprintf "%a [%s] %s" Simtime.pp_tor_log r.time (level_string r.level) r.text
+
+let dump ?node t =
+  let rs = match node with None -> records t | Some id -> for_node t id in
+  String.concat "\n" (List.map render rs)
+
+let clear t = t.records <- []

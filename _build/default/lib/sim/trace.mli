@@ -1,0 +1,37 @@
+(** Tor-style simulation log.
+
+    Protocols emit log records that the Figure 1 reproduction formats
+    exactly like a directory authority's log ("[notice] We're missing
+    votes from 5 authorities ..."). *)
+
+type level = Notice | Info | Warn
+
+type record = {
+  time : Simtime.t;
+  node : int option; (* None for network-level records *)
+  level : level;
+  text : string;
+}
+
+type t
+
+val create : unit -> t
+
+val log : t -> time:Simtime.t -> ?node:int -> level -> string -> unit
+
+val logf :
+  t -> time:Simtime.t -> ?node:int -> level -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val records : t -> record list
+(** All records, oldest first. *)
+
+val for_node : t -> int -> record list
+(** Records emitted by one node, oldest first. *)
+
+val render : record -> string
+(** One Tor-style log line: ["Jan 01 01:24:30.011 \[notice\] ..."]. *)
+
+val dump : ?node:int -> t -> string
+(** All (or one node's) records rendered, newline-separated. *)
+
+val clear : t -> unit

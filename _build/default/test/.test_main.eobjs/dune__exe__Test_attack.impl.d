@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Attack Format List Protocols String Tor_sim

@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Array Crypto Dirdoc List Printf Result String Tor_sim Torclient

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Attack Crypto Dirdoc Fun Int Int64 List Printf Protocols QCheck QCheck_alcotest String Tor_sim Torpartial

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char Crypto Digest32 Fun Gen Hmac Keyring List Merkle Printf QCheck QCheck_alcotest Sha256 Signature String

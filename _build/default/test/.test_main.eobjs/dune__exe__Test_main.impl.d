@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_attack Test_client Test_core Test_crypto Test_dirdoc Test_protocols Test_sim

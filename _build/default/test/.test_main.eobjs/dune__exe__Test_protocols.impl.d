@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Attack Crypto Dirdoc Fun Int Int64 List Option Printf Protocols QCheck QCheck_alcotest String Tor_sim Torpartial

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Event_queue Float Format Fun Gen Int Int64 List Net Nic QCheck QCheck_alcotest Rng Simtime Stats String Summary Topology Tor_sim Trace

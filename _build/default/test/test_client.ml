@@ -1,0 +1,286 @@
+(* Tests for the Tor client substrate: consensus verification,
+   freshness rules, bandwidth-weighted circuit building, and the
+   client state machine. *)
+
+module Directory = Torclient.Directory
+module Circuit = Torclient.Circuit
+module Flags = Dirdoc.Flags
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let keyring = Crypto.Keyring.create ~seed:"client-tests" ~n:9 ()
+
+let fp i = Printf.sprintf "%040X" i
+
+let entry ?(flags = [ Flags.Running; Flags.Valid ]) ?(bandwidth = 1000)
+    ?(exit_policy = Dirdoc.Exit_policy.reject_all) i =
+  {
+    Dirdoc.Consensus.fingerprint = fp i;
+    nickname = Printf.sprintf "relay%d" i;
+    flags = Flags.of_list flags;
+    version = Dirdoc.Version.make 0 4 8 12;
+    protocols = Dirdoc.Relay.default_protocols;
+    bandwidth;
+    exit_policy;
+  }
+
+let guard_flags = [ Flags.Running; Flags.Valid; Flags.Guard; Flags.Stable ]
+let exit_flags = [ Flags.Running; Flags.Valid; Flags.Exit ]
+
+let sample_consensus ?(valid_after = 0.) ?(entries = []) () =
+  Dirdoc.Consensus.create ~valid_after ~n_votes:9 ~entries
+
+let usable_population () =
+  [
+    entry ~flags:guard_flags ~bandwidth:5000 1;
+    entry ~flags:guard_flags ~bandwidth:100 2;
+    entry ~flags:exit_flags ~exit_policy:Dirdoc.Exit_policy.accept_all ~bandwidth:2000 3;
+    entry
+      ~flags:exit_flags
+      ~exit_policy:(Dirdoc.Exit_policy.make Dirdoc.Exit_policy.Accept [ (443, 443) ])
+      ~bandwidth:800 4;
+    entry ~bandwidth:1500 5;
+    entry ~bandwidth:300 6;
+  ]
+
+(* --- Directory.verify ---------------------------------------------------------- *)
+
+let test_verify_majority () =
+  let c = sample_consensus () in
+  let ok = Directory.make keyring c ~signers:[ 0; 1; 2; 3; 4 ] in
+  checkb "5 of 9 accepted" true (Directory.verify keyring ~n_authorities:9 ok = Ok ());
+  let short = Directory.make keyring c ~signers:[ 0; 1; 2; 3 ] in
+  checkb "4 of 9 rejected" true
+    (Result.is_error (Directory.verify keyring ~n_authorities:9 short))
+
+let test_verify_duplicates_and_forgeries () =
+  let c = sample_consensus () in
+  let payload = Dirdoc.Consensus.signing_payload c in
+  let sig0 = Crypto.Signature.sign keyring ~signer:0 payload in
+  let sc =
+    {
+      Directory.consensus = c;
+      signatures =
+        [ sig0; sig0; sig0; sig0; sig0 (* duplicates count once *) ];
+    }
+  in
+  checkb "duplicate signers rejected" true
+    (Result.is_error (Directory.verify keyring ~n_authorities:9 sc));
+  let forged =
+    {
+      Directory.consensus = c;
+      signatures = List.init 5 (fun i -> Crypto.Signature.forge ~signer:i payload);
+    }
+  in
+  checkb "forged signatures rejected" true
+    (Result.is_error (Directory.verify keyring ~n_authorities:9 forged))
+
+let test_verify_wrong_document () =
+  let a = sample_consensus () in
+  let b = sample_consensus ~valid_after:3600. () in
+  let sc_b = Directory.make keyring b ~signers:[ 0; 1; 2; 3; 4 ] in
+  (* Signatures from b glued onto a must not verify. *)
+  let mixed = { Directory.consensus = a; signatures = sc_b.Directory.signatures } in
+  checkb "transplanted signatures rejected" true
+    (Result.is_error (Directory.verify keyring ~n_authorities:9 mixed))
+
+(* --- Freshness ---------------------------------------------------------------- *)
+
+let test_freshness_windows () =
+  let c = sample_consensus ~valid_after:1000. () in
+  checkb "fresh" true (Directory.freshness ~now:2000. c = Directory.Fresh);
+  checkb "stale" true (Directory.freshness ~now:(1000. +. 7200.) c = Directory.Stale);
+  checkb "expired" true (Directory.freshness ~now:(1000. +. 10801.) c = Directory.Expired);
+  checkb "usable stale" true (Directory.usable ~now:(1000. +. 7200.) c);
+  checkb "unusable expired" false (Directory.usable ~now:(1000. +. 10801.) c)
+
+(* --- Circuit ---------------------------------------------------------------- *)
+
+let test_eligibility () =
+  let c = sample_consensus ~entries:(usable_population ()) () in
+  checki "guards" 2 (List.length (Circuit.eligible_guards c));
+  checki "exits for 443" 2 (List.length (Circuit.eligible_exits ~port:443 c));
+  checki "exits for 22" 1 (List.length (Circuit.eligible_exits ~port:22 c));
+  checki "middles include everyone running" 6 (List.length (Circuit.eligible_middles c))
+
+let test_badexit_excluded () =
+  let bad =
+    entry
+      ~flags:(Flags.BadExit :: exit_flags)
+      ~exit_policy:Dirdoc.Exit_policy.accept_all 9
+  in
+  let c = sample_consensus ~entries:[ bad ] () in
+  checki "BadExit filtered" 0 (List.length (Circuit.eligible_exits ~port:80 c))
+
+let test_build_distinct_hops () =
+  let rng = Tor_sim.Rng.of_string_seed "circuits" in
+  let c = sample_consensus ~entries:(usable_population ()) () in
+  for _ = 1 to 50 do
+    match Circuit.build ~rng ~port:443 c with
+    | Ok { guard; middle; exit } ->
+        checkb "guard is a guard" true (Flags.mem Flags.Guard guard.Dirdoc.Consensus.flags);
+        checkb "exit allows port" true
+          (Dirdoc.Exit_policy.allows_port exit.Dirdoc.Consensus.exit_policy 443);
+        checkb "three distinct relays" true
+          (guard.Dirdoc.Consensus.fingerprint <> middle.Dirdoc.Consensus.fingerprint
+          && middle.Dirdoc.Consensus.fingerprint <> exit.Dirdoc.Consensus.fingerprint
+          && guard.Dirdoc.Consensus.fingerprint <> exit.Dirdoc.Consensus.fingerprint)
+    | Error e -> Alcotest.fail (Circuit.error_to_string e)
+  done
+
+let test_build_errors () =
+  let rng = Tor_sim.Rng.of_string_seed "circuits" in
+  let no_exit = sample_consensus ~entries:[ entry ~flags:guard_flags 1; entry 2 ] () in
+  (match Circuit.build ~rng ~port:80 no_exit with
+  | Error Circuit.No_exit -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected No_exit");
+  let no_guard =
+    sample_consensus
+      ~entries:
+        [ entry ~flags:exit_flags ~exit_policy:Dirdoc.Exit_policy.accept_all 1; entry 2 ]
+      ()
+  in
+  match Circuit.build ~rng ~port:80 no_guard with
+  | Error Circuit.No_guard -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected No_guard"
+
+let test_bandwidth_weighting () =
+  (* The 5000 kB/s guard should be picked far more often than the
+     100 kB/s one. *)
+  let rng = Tor_sim.Rng.of_string_seed "weighting" in
+  let c = sample_consensus ~entries:(usable_population ()) () in
+  let big = ref 0 in
+  let trials = 2000 in
+  for _ = 1 to trials do
+    match Circuit.bandwidth_weighted ~rng (Circuit.eligible_guards c) with
+    | Some g when g.Dirdoc.Consensus.fingerprint = fp 1 -> incr big
+    | Some _ -> ()
+    | None -> Alcotest.fail "expected a guard"
+  done;
+  let share = float_of_int !big /. float_of_int trials in
+  (* Expected 5000/5100 = 0.98. *)
+  checkb "weighted towards bandwidth" true (share > 0.9);
+  checkb "empty list" true (Circuit.bandwidth_weighted ~rng [] = None)
+
+(* --- Client state machine ------------------------------------------------------- *)
+
+let test_client_lifecycle () =
+  let client = Torclient.Client.create ~keyring ~n_authorities:9 in
+  checkb "bootstrapping: no circuits" false (Torclient.Client.can_build_circuits client ~now:0.);
+  let c1 = sample_consensus ~valid_after:0. ~entries:(usable_population ()) () in
+  let sc1 = Directory.make keyring c1 ~signers:[ 0; 1; 2; 3; 4 ] in
+  checkb "adopts verified document" true (Torclient.Client.offer client ~now:600. sc1 = Ok ());
+  checkb "circuits available" true (Torclient.Client.can_build_circuits client ~now:600.);
+  (* An older document is refused. *)
+  let old = sample_consensus ~valid_after:(-3600.) () in
+  let sc_old = Directory.make keyring old ~signers:[ 0; 1; 2; 3; 4 ] in
+  checkb "older document refused" true
+    (Result.is_error (Torclient.Client.offer client ~now:700. sc_old));
+  (* Time passes: the held document expires and circuits stop. *)
+  checkb "expired -> no circuits" false
+    (Torclient.Client.can_build_circuits client ~now:11000.);
+  (match Torclient.Client.build_circuit client ~now:11000.
+           ~rng:(Tor_sim.Rng.of_string_seed "c") ~port:443 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "must refuse circuits on an expired consensus");
+  (* A fresh hour's document restores service. *)
+  let c2 = sample_consensus ~valid_after:10800. ~entries:(usable_population ()) () in
+  let sc2 = Directory.make keyring c2 ~signers:[ 2; 3; 4; 5; 6; 7 ] in
+  checkb "new hour adopted" true (Torclient.Client.offer client ~now:11400. sc2 = Ok ());
+  match Torclient.Client.build_circuit client ~now:11400.
+          ~rng:(Tor_sim.Rng.of_string_seed "c") ~port:443 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_client_rejects_unverified () =
+  let client = Torclient.Client.create ~keyring ~n_authorities:9 in
+  let c = sample_consensus ~entries:(usable_population ()) () in
+  let sc = Directory.make keyring c ~signers:[ 0; 1 ] in
+  checkb "too few signatures refused" true
+    (Result.is_error (Torclient.Client.offer client ~now:0. sc));
+  checkb "still bootstrapping" false (Torclient.Client.can_build_circuits client ~now:0.)
+
+
+(* --- Consensus diffs ---------------------------------------------------------- *)
+
+let consensus_pair () =
+  let rng = Tor_sim.Rng.of_string_seed "consdiff-tests" in
+  let votes =
+    Dirdoc.Workload.votes ~rng ~keyring ~n_authorities:9 ~n_relays:300 ~valid_after:0. ()
+  in
+  let base = Dirdoc.Aggregate.consensus ~valid_after:0. ~votes:(Array.to_list votes) in
+  (* Next hour: ~2% of relays churn out. *)
+  let votes2 =
+    Array.map
+      (fun (v : Dirdoc.Vote.t) ->
+        let relays =
+          Array.to_list v.Dirdoc.Vote.relays |> List.filteri (fun i _ -> i mod 50 <> 0)
+        in
+        Dirdoc.Vote.create ~authority:v.Dirdoc.Vote.authority
+          ~authority_fingerprint:v.Dirdoc.Vote.authority_fingerprint
+          ~nickname:v.Dirdoc.Vote.nickname ~published:v.Dirdoc.Vote.published
+          ~valid_after:3600. ~relays)
+      votes
+  in
+  let target = Dirdoc.Aggregate.consensus ~valid_after:3600. ~votes:(Array.to_list votes2) in
+  (Dirdoc.Consensus.serialize base, Dirdoc.Consensus.serialize target)
+
+let test_consdiff_roundtrip () =
+  let base, target = consensus_pair () in
+  let d = Torclient.Consdiff.diff ~base ~target in
+  (match Torclient.Consdiff.patch ~base d with
+  | Ok patched -> checkb "patch(diff) = target" true (String.equal patched target)
+  | Error e -> Alcotest.fail e);
+  checkb "diff is much smaller than the document" true
+    (Torclient.Consdiff.wire_size d * 4 < String.length target);
+  checkb "savings reported" true (Torclient.Consdiff.savings ~base ~target > 0.5)
+
+let test_consdiff_identity () =
+  let base, _ = consensus_pair () in
+  let d = Torclient.Consdiff.diff ~base ~target:base in
+  checki "no commands for identical documents" 0 (List.length d.Torclient.Consdiff.commands);
+  match Torclient.Consdiff.patch ~base d with
+  | Ok patched -> checkb "identity patch" true (String.equal patched base)
+  | Error e -> Alcotest.fail e
+
+let test_consdiff_wrong_base () =
+  let base, target = consensus_pair () in
+  let d = Torclient.Consdiff.diff ~base ~target in
+  checkb "refuses a different base" true
+    (Result.is_error (Torclient.Consdiff.patch ~base:target d));
+  (* Tampering with the target digest must be caught after patching. *)
+  let tampered = { d with Torclient.Consdiff.target_digest = Crypto.Digest32.of_string "x" } in
+  checkb "refuses a tampered target digest" true
+    (Result.is_error (Torclient.Consdiff.patch ~base tampered))
+
+let test_consdiff_disjoint_documents () =
+  (* Even totally different documents roundtrip (as one big rewrite). *)
+  let base, _ = consensus_pair () in
+  let other =
+    Dirdoc.Consensus.serialize
+      (Dirdoc.Consensus.create ~valid_after:7200. ~n_votes:9 ~entries:[])
+  in
+  let d = Torclient.Consdiff.diff ~base ~target:other in
+  match Torclient.Consdiff.patch ~base d with
+  | Ok patched -> checkb "full rewrite roundtrips" true (String.equal patched other)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    ("verify: majority rule", `Quick, test_verify_majority);
+    ("verify: duplicates and forgeries", `Quick, test_verify_duplicates_and_forgeries);
+    ("verify: transplanted signatures", `Quick, test_verify_wrong_document);
+    ("freshness windows", `Quick, test_freshness_windows);
+    ("circuit eligibility", `Quick, test_eligibility);
+    ("circuit BadExit exclusion", `Quick, test_badexit_excluded);
+    ("circuit distinct hops", `Quick, test_build_distinct_hops);
+    ("circuit errors", `Quick, test_build_errors);
+    ("circuit bandwidth weighting", `Quick, test_bandwidth_weighting);
+    ("client lifecycle", `Quick, test_client_lifecycle);
+    ("client rejects unverified", `Quick, test_client_rejects_unverified);
+    ("consdiff roundtrip", `Quick, test_consdiff_roundtrip);
+    ("consdiff identity", `Quick, test_consdiff_identity);
+    ("consdiff rejects wrong base/target", `Quick, test_consdiff_wrong_base);
+    ("consdiff disjoint documents", `Quick, test_consdiff_disjoint_documents);
+  ]

@@ -1,0 +1,439 @@
+(* Tests for the paper's protocol: the ICPS property checkers, the
+   dissemination sub-protocol's proofs, the full protocol under
+   attacks/faults, and property-based Definition 5.1 checks over
+   randomized adversarial schedules. *)
+
+module R = Protocols.Runenv
+module D = Torpartial.Dissemination
+module Icps = Torpartial.Icps
+module Protocol = Torpartial.Protocol
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let behaviors_with pairs =
+  let b = Array.make 9 R.Honest in
+  List.iter (fun (i, v) -> b.(i) <- v) pairs;
+  b
+
+(* --- Icps checkers ---------------------------------------------------------- *)
+
+let test_icps_checkers () =
+  let v : int Icps.vector = [| Some 1; None; Some 3 |] in
+  checki "non_bot" 2 (Icps.non_bot v);
+  checkb "agreement same" true (Icps.agreement ~equal:Int.equal [ v; Array.copy v ]);
+  checkb "agreement differs" false
+    (Icps.agreement ~equal:Int.equal [ v; [| Some 1; Some 2; Some 3 |] ]);
+  checkb "agreement empty" true (Icps.agreement ~equal:Int.equal []);
+  let inputs = [| 1; 2; 3 |] in
+  checkb "value validity with own value" true
+    (Icps.value_validity ~equal:Int.equal ~inputs ~who:0 v);
+  checkb "value validity with bot" true
+    (Icps.value_validity ~equal:Int.equal ~inputs ~who:1 v);
+  checkb "value validity violated" false
+    (Icps.value_validity ~equal:Int.equal ~inputs ~who:1 [| None; Some 9; None |]);
+  checkb "gst0 requires value" false
+    (Icps.value_validity_gst_zero ~equal:Int.equal ~inputs ~who:1 v);
+  checkb "common set" true (Icps.common_set_validity ~f:1 v);
+  checkb "common set violated" false (Icps.common_set_validity ~f:0 v);
+  checki "fault bound 9" 2 (Icps.fault_bound ~n:9);
+  checki "fault bound 4" 1 (Icps.fault_bound ~n:4)
+
+(* --- Dissemination ---------------------------------------------------------- *)
+
+let n = 9
+let f = 2
+let keyring = Crypto.Keyring.create ~seed:"dissemination-tests" ~n ()
+
+let digest_of i = Crypto.Digest32.of_string (Printf.sprintf "doc-%d" i)
+
+let full_digests () =
+  Array.init n (fun j ->
+      let d = digest_of j in
+      Some (d, D.sign_document keyring ~sender:j d))
+
+let proposal_from i ~missing =
+  let digests = full_digests () in
+  List.iter (fun j -> digests.(j) <- None) missing;
+  D.make_proposal keyring ~proposer:i ~digests
+
+let test_proposal_validity () =
+  let p = proposal_from 0 ~missing:[] in
+  checkb "full proposal valid" true (D.proposal_valid keyring ~n ~f p);
+  let p2 = proposal_from 1 ~missing:[ 3; 5 ] in
+  checkb "n-f entries valid" true (D.proposal_valid keyring ~n ~f p2);
+  let p3 = proposal_from 1 ~missing:[ 3; 5; 7 ] in
+  checkb "too few entries invalid" false (D.proposal_valid keyring ~n ~f p3);
+  (* Tampering with an entry's digest breaks the proposer signature. *)
+  let tampered = proposal_from 0 ~missing:[] in
+  tampered.D.entries.(2) <-
+    { (tampered.D.entries.(2)) with D.digest = Some (digest_of 8) };
+  checkb "tampered invalid" false (D.proposal_valid keyring ~n ~f tampered)
+
+let build_with proposals =
+  let collector = D.Collector.create keyring ~n ~f in
+  List.iter (D.Collector.add collector) proposals;
+  D.Collector.build collector
+
+let test_collector_requires_quorum () =
+  let proposals = List.init (n - f - 1) (fun i -> proposal_from i ~missing:[]) in
+  checkb "6 proposals not enough" true (build_with proposals = None);
+  let proposals = List.init (n - f) (fun i -> proposal_from i ~missing:[]) in
+  match build_with proposals with
+  | None -> Alcotest.fail "7 proposals should build"
+  | Some value ->
+      checki "all entries present" n (Icps.non_bot value.D.vector);
+      checkb "validates" true (D.validate keyring ~n ~f value)
+
+let test_collector_absent_entries () =
+  (* Every proposer misses node 8's document: entry 8 resolves to ⊥
+     with an Absent proof. *)
+  let proposals = List.init (n - f) (fun i -> proposal_from i ~missing:[ 8 ]) in
+  match build_with proposals with
+  | None -> Alcotest.fail "should build"
+  | Some value ->
+      checkb "entry 8 bot" true (value.D.vector.(8) = None);
+      checki "rest present" (n - 1) (Icps.non_bot value.D.vector);
+      (match value.D.proofs.(8) with
+      | D.Absent sigs -> checki "f+1 bot signatures" (f + 1) (List.length sigs)
+      | D.Present _ | D.Equivocation _ -> Alcotest.fail "expected Absent proof");
+      checkb "validates" true (D.validate keyring ~n ~f value)
+
+let test_collector_equivocation () =
+  (* Node 0 signed two different digests; proposals disagree about its
+     document, and the leader must exclude it with an equivocation
+     proof. *)
+  let evil_digest = Crypto.Digest32.of_string "evil" in
+  let evil_sig = D.sign_document keyring ~sender:0 evil_digest in
+  let proposals =
+    List.init (n - f) (fun i ->
+        if i < 3 then
+          let digests = full_digests () in
+          digests.(0) <- Some (evil_digest, evil_sig);
+          D.make_proposal keyring ~proposer:i ~digests
+        else proposal_from i ~missing:[])
+  in
+  match build_with proposals with
+  | None -> Alcotest.fail "should build"
+  | Some value ->
+      checkb "equivocator excluded" true (value.D.vector.(0) = None);
+      (match value.D.proofs.(0) with
+      | D.Equivocation ((d1, _), (d2, _)) ->
+          checkb "distinct digests" false (Crypto.Digest32.equal d1 d2)
+      | D.Present _ | D.Absent _ -> Alcotest.fail "expected Equivocation proof");
+      checkb "validates" true (D.validate keyring ~n ~f value)
+
+let test_validate_rejections () =
+  let proposals = List.init (n - f) (fun i -> proposal_from i ~missing:[]) in
+  match build_with proposals with
+  | None -> Alcotest.fail "should build"
+  | Some value ->
+      (* Vector/proof tampering must be caught. *)
+      let tampered = { value with D.vector = Array.copy value.D.vector } in
+      tampered.D.vector.(0) <- Some (digest_of 5);
+      checkb "digest swap rejected" false (D.validate keyring ~n ~f tampered);
+      let emptied = { value with D.vector = Array.map (fun _ -> None) value.D.vector } in
+      checkb "all-bot rejected" false (D.validate keyring ~n ~f emptied);
+      let wrong_ring = Crypto.Keyring.create ~seed:"other" ~n () in
+      checkb "foreign keyring rejected" false (D.validate wrong_ring ~n ~f value)
+
+let test_value_digest_binding () =
+  let proposals = List.init (n - f) (fun i -> proposal_from i ~missing:[]) in
+  let with8 = List.init (n - f) (fun i -> proposal_from i ~missing:[ 8 ]) in
+  match (build_with proposals, build_with with8) with
+  | Some a, Some b ->
+      checkb "different vectors, different digests" false
+        (Crypto.Digest32.equal (D.value_digest a) (D.value_digest b));
+      checkb "wire size positive" true (D.value_wire_size a > 0)
+  | _ -> Alcotest.fail "both should build"
+
+(* --- Full protocol --------------------------------------------------------------- *)
+
+let test_protocol_happy_gst_zero () =
+  let env = R.make ~n_relays:200 () in
+  let detailed = Protocol.run_detailed env in
+  let result = detailed.Protocol.result in
+  checkb "success" true (R.success env result);
+  checkb "agreement" true (R.agreement_holds env result);
+  (* GST = 0: Value Validity in its strong form — every honest
+     authority's document is in the agreed vector. *)
+  Array.iteri
+    (fun i vector ->
+      checki (Printf.sprintf "node %d full vector" i) 9 (Icps.non_bot vector);
+      match vector.(i) with
+      | Some d ->
+          checkb "own digest correct" true
+            (Crypto.Digest32.equal d (Dirdoc.Vote.digest env.R.votes.(i)))
+      | None -> Alcotest.fail "own entry must be non-bot at GST=0")
+    detailed.Protocol.vectors;
+  checkb "vectors agree" true
+    (Icps.agreement ~equal:Crypto.Digest32.equal
+       (Array.to_list detailed.Protocol.vectors))
+
+let test_protocol_ddos_recovery () =
+  let attacks = Attack.Ddos.knockout ~n:9 () in
+  let env = R.make ~n_relays:2000 ~attacks () in
+  let result = Protocol.run env in
+  checkb "succeeds despite knockout" true (R.success env result);
+  match R.decided_at_latest result with
+  | Some t -> checkb "recovers shortly after attack" true (t > 300. && t < 360.)
+  | None -> Alcotest.fail "expected decision"
+
+let test_protocol_low_bandwidth () =
+  let env = R.make ~n_relays:1000 ~bandwidth_bits_per_sec:1e6 ~horizon:7200. () in
+  let result = Protocol.run env in
+  checkb "works at 1 Mbit/s where baselines fail" true (R.success env result);
+  let baseline = Protocols.Current_v3.run env in
+  checkb "baseline indeed fails" false (R.success env baseline)
+
+let test_protocol_equivocator () =
+  let env = R.make ~n_relays:200 ~behaviors:(behaviors_with [ (0, R.Equivocating) ]) () in
+  let detailed = Protocol.run_detailed env in
+  checkb "agreement with equivocator" true (R.agreement_holds env detailed.Protocol.result);
+  checkb "success with equivocator" true (R.success env detailed.Protocol.result);
+  checkb "vectors agree" true
+    (Icps.agreement ~equal:Crypto.Digest32.equal
+       (Array.to_list
+          (Array.of_list
+             (List.filter (fun v -> Array.length v > 0)
+                (Array.to_list detailed.Protocol.vectors)))))
+
+let test_protocol_two_silent () =
+  let env =
+    R.make ~n_relays:200 ~behaviors:(behaviors_with [ (3, R.Silent); (6, R.Silent) ]) ()
+  in
+  let detailed = Protocol.run_detailed env in
+  checkb "success with f silent" true (R.success env detailed.Protocol.result);
+  Array.iteri
+    (fun i vector ->
+      if Array.length vector > 0 then begin
+        checkb
+          (Printf.sprintf "common set validity at node %d" i)
+          true
+          (Icps.common_set_validity ~f:2 vector);
+        (* Silent nodes' documents can only be ⊥ or their real vote. *)
+        checkb "silent slots are bot" true (vector.(3) = None && vector.(6) = None)
+      end)
+    detailed.Protocol.vectors
+
+let test_protocol_three_silent_blocks () =
+  (* f+1 = 3 silent: below the agreement quorum, the protocol must not
+     decide (but also must not decide inconsistently). *)
+  let env =
+    R.make ~n_relays:100 ~horizon:600.
+      ~behaviors:(behaviors_with [ (1, R.Silent); (4, R.Silent); (7, R.Silent) ])
+      ()
+  in
+  let result = Protocol.run env in
+  checkb "no decision below quorum" false (R.success env result);
+  checkb "but never disagreement" true (R.agreement_holds env result)
+
+(* Definition 5.1 property test over randomized adversarial schedules:
+   random Byzantine/silent subsets (≤ f) and random attack windows. *)
+let qcheck_definition_5_1 =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* seed = int_range 0 1_000_000 in
+        let* n_faulty = int_range 0 2 in
+        let* attack_len = float_range 0. 200. in
+        let* residual = oneofl [ 0.; 0.5e6; 5e6 ] in
+        return (seed, n_faulty, attack_len, residual))
+  in
+  QCheck.Test.make ~name:"Definition 5.1 under random faults and attacks" ~count:12 gen
+    (fun (seed, n_faulty, attack_len, residual) ->
+      let rng = Tor_sim.Rng.create (Int64.of_int seed) in
+      let behaviors = Array.make 9 R.Honest in
+      let faulty = ref [] in
+      while List.length !faulty < n_faulty do
+        let i = Tor_sim.Rng.int rng 9 in
+        if not (List.mem i !faulty) then faulty := i :: !faulty
+      done;
+      List.iter
+        (fun i ->
+          behaviors.(i) <- (if Tor_sim.Rng.bool rng then R.Silent else R.Equivocating))
+        !faulty;
+      let attacks =
+        if attack_len > 1. then
+          Attack.Ddos.bandwidth_attack ~n:9
+            ~targets:(List.init (Tor_sim.Rng.range rng ~min:1 ~max:4) Fun.id)
+            ~stop:attack_len ~residual_bits_per_sec:residual ()
+        else []
+      in
+      let env =
+        R.make
+          ~seed:(Printf.sprintf "prop-%d" seed)
+          ~n_relays:100 ~behaviors ~attacks ~horizon:3600. ()
+      in
+      let detailed = Protocol.run_detailed env in
+      let honest = List.filter (fun i -> behaviors.(i) = R.Honest) (List.init 9 Fun.id) in
+      let honest_vectors =
+        List.filter_map
+          (fun i ->
+            let v = detailed.Protocol.vectors.(i) in
+            if Array.length v > 0 then Some (i, v) else None)
+          honest
+      in
+      (* Termination: with <= f faulty, every honest node decides. *)
+      List.length honest_vectors = List.length honest
+      (* Agreement. *)
+      && Icps.agreement ~equal:Crypto.Digest32.equal (List.map snd honest_vectors)
+      (* Common Set Validity. *)
+      && List.for_all (fun (_, v) -> Icps.common_set_validity ~f:2 v) honest_vectors
+      (* Value Validity: honest slots hold the honest vote or bot. *)
+      && List.for_all
+           (fun (_, v) ->
+             List.for_all
+               (fun j ->
+                 match v.(j) with
+                 | None -> true
+                 | Some d ->
+                     (not (behaviors.(j) = R.Silent))
+                     && (behaviors.(j) = R.Equivocating
+                        || Crypto.Digest32.equal d (Dirdoc.Vote.digest env.R.votes.(j))))
+               honest)
+           honest_vectors)
+
+(* --- Experiments helpers ---------------------------------------------------------- *)
+
+let test_cost_rows_exact () =
+  let rows = Torpartial.Experiments.cost_rows () in
+  let get name = List.assoc name rows in
+  Alcotest.(check (float 1e-9)) "per run" 0.0740 (get "cost to break one run ($)");
+  Alcotest.(check (float 1e-9)) "per month" 53.28 (get "cost per month ($)")
+
+let test_table2_structure () =
+  let rows, measured = Torpartial.Experiments.table2 () in
+  checki "three sub-protocols" 3 (List.length rows);
+  let total =
+    List.fold_left (fun acc (r : Torpartial.Experiments.table2_row) -> acc + r.rounds) 0 rows
+  in
+  checki "nine rounds total" 9 total;
+  checkb "empirical close to structural" true (measured > 6. && measured <= 9.5)
+
+
+(* --- Outage timeline -------------------------------------------------------- *)
+
+let test_outage_current_goes_dark () =
+  let t =
+    Torpartial.Outage.run ~hours:5 ~n_relays:1000
+      ~protocol:Torpartial.Experiments.Current ~policy:Torpartial.Outage.Hourly_flood ()
+  in
+  (* Hour 0 bootstraps; hours 1+ fail; the hour-0 document expires 3 h
+     after its valid-after, so clients go dark at hour 3. *)
+  checkb "first dark hour is 3" true
+    (Torpartial.Outage.first_dark_hour t = Some 3);
+  checki "dark from hour 3 on" 2 t.Torpartial.Outage.dark_hours;
+  checkb "attack costs cents" true (t.Torpartial.Outage.attacker_usd < 1.)
+
+let test_outage_ours_stays_up () =
+  let t =
+    Torpartial.Outage.run ~hours:5 ~n_relays:1000
+      ~protocol:Torpartial.Experiments.Ours ~policy:Torpartial.Outage.Hourly_flood ()
+  in
+  checkb "never dark" true (Torpartial.Outage.first_dark_hour t = None);
+  checkb "every hour produced" true
+    (List.for_all
+       (fun (h : Torpartial.Outage.hour) -> h.Torpartial.Outage.consensus_produced)
+       t.Torpartial.Outage.hours)
+
+let test_outage_no_attack_baseline () =
+  let t =
+    Torpartial.Outage.run ~hours:3 ~n_relays:1000
+      ~protocol:Torpartial.Experiments.Current ~policy:Torpartial.Outage.No_attack ()
+  in
+  checki "no dark hours" 0 t.Torpartial.Outage.dark_hours;
+  checkb "free for the attacker who never attacked" true
+    (t.Torpartial.Outage.attacker_usd = 0.)
+
+(* --- Ablation sanity -------------------------------------------------------- *)
+
+let test_doc_timeout_bounds_latency () =
+  (* With silent authorities the dissemination wait binds latency
+     almost exactly (the paper's argument against raising timeouts). *)
+  let rows = Torpartial.Experiments.latency_vs_doc_timeout ~timeouts:[ 30.; 120. ] ~n_relays:200 () in
+  match rows with
+  | [ (30., Some l30); (120., Some l120) ] ->
+      checkb "30s run close to 30s" true (l30 >= 30. && l30 < 40.);
+      checkb "120s run close to 120s" true (l120 >= 120. && l120 < 130.)
+  | _ -> Alcotest.fail "expected two successful rows"
+
+
+(* --- Scenario files ---------------------------------------------------------- *)
+
+let test_scenario_parse_default () =
+  match Torpartial.Scenario.parse Torpartial.Scenario.default_text with
+  | Error e -> Alcotest.fail e
+  | Ok sc ->
+      checkb "protocol" true (sc.Torpartial.Scenario.protocol = Torpartial.Experiments.Current);
+      (* vote sizes sit just below the ground truth: ~1% divergence *)
+      let relays = Dirdoc.Vote.n_relays sc.Torpartial.Scenario.env.R.votes.(0) in
+      checkb "relays near 8000" true (relays > 7800 && relays <= 8000);
+      checki "five attack windows" 5 (List.length sc.Torpartial.Scenario.env.R.attacks)
+
+let test_scenario_directives () =
+  let text =
+    "protocol ours # partial synchrony\n\
+     relays 123\n\
+     bandwidth 10\n\
+     seed my-seed\n\
+     behavior 2 silent\n\
+     attack 7 10 20 1.5\n\
+     knockout-majority 0 300\n"
+  in
+  match Torpartial.Scenario.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok sc ->
+      let env = sc.Torpartial.Scenario.env in
+      checkb "behavior applied" true (env.R.behaviors.(2) = R.Silent);
+      checki "six windows" 6 (List.length env.R.attacks);
+      checkb "bandwidth" true (env.R.bandwidth_bits_per_sec = 10e6)
+
+let test_scenario_errors () =
+  let expect_error text =
+    match Torpartial.Scenario.parse text with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" text)
+    | Error e -> e
+  in
+  checkb "unknown directive has line number" true
+    (String.length (expect_error "frobnicate 3") > 0
+    && String.sub (expect_error "frobnicate 3") 0 7 = "line 1:");
+  ignore (expect_error "protocol alien");
+  ignore (expect_error "relays many");
+  ignore (expect_error "behavior 42 silent");
+  ignore (expect_error "attack 0 10 5 1.0" (* stop before start *))
+
+let test_scenario_runs () =
+  match Torpartial.Scenario.parse "protocol ours\nrelays 100\nseed s\n" with
+  | Error e -> Alcotest.fail e
+  | Ok sc ->
+      let result = Torpartial.Scenario.run sc in
+      checkb "scenario run succeeds" true (R.success sc.Torpartial.Scenario.env result)
+
+let suite =
+  [
+    ("icps checkers", `Quick, test_icps_checkers);
+    ("dissemination proposal validity", `Quick, test_proposal_validity);
+    ("dissemination collector quorum", `Quick, test_collector_requires_quorum);
+    ("dissemination absent proofs", `Quick, test_collector_absent_entries);
+    ("dissemination equivocation proofs", `Quick, test_collector_equivocation);
+    ("dissemination validate rejections", `Quick, test_validate_rejections);
+    ("dissemination value digest binding", `Quick, test_value_digest_binding);
+    ("protocol: happy path (GST=0 value validity)", `Quick, test_protocol_happy_gst_zero);
+    ("protocol: DDoS knockout recovery", `Slow, test_protocol_ddos_recovery);
+    ("protocol: low bandwidth survival", `Slow, test_protocol_low_bandwidth);
+    ("protocol: equivocating authority", `Quick, test_protocol_equivocator);
+    ("protocol: two silent authorities", `Quick, test_protocol_two_silent);
+    ("protocol: f+1 silent blocks safely", `Quick, test_protocol_three_silent_blocks);
+    QCheck_alcotest.to_alcotest qcheck_definition_5_1;
+    ("experiments: exact cost figures", `Quick, test_cost_rows_exact);
+    ("experiments: table 2 rounds", `Quick, test_table2_structure);
+    ("outage: current goes dark at hour 3", `Slow, test_outage_current_goes_dark);
+    ("outage: ours stays up", `Slow, test_outage_ours_stays_up);
+    ("outage: no-attack baseline", `Slow, test_outage_no_attack_baseline);
+    ("ablation: doc timeout bounds latency", `Slow, test_doc_timeout_bounds_latency);
+    ("scenario: parse default", `Quick, test_scenario_parse_default);
+    ("scenario: directives", `Quick, test_scenario_directives);
+    ("scenario: errors", `Quick, test_scenario_errors);
+    ("scenario: runs", `Quick, test_scenario_runs);
+  ]

@@ -1,0 +1,209 @@
+(* Tests for the crypto substrate: SHA-256 against the NIST vectors,
+   HMAC against RFC 4231, the simulated signature scheme's soundness,
+   and Merkle proofs. *)
+
+open Crypto
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let str = Alcotest.string
+
+(* --- SHA-256 ------------------------------------------------------------ *)
+
+let nist_vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+  ]
+
+let test_nist () =
+  List.iter
+    (fun (input, expected) -> check str input expected (Sha256.digest_hex input))
+    nist_vectors
+
+let test_million_a () =
+  check str "million a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest_hex (String.make 1_000_000 'a'))
+
+let test_streaming_matches_oneshot () =
+  (* Absorbing in arbitrary chunks must equal the one-shot digest. *)
+  let data = String.init 10_000 (fun i -> Char.chr (i * 7 mod 256)) in
+  let ctx = Sha256.init () in
+  let rec feed pos step =
+    if pos < String.length data then begin
+      let len = min step (String.length data - pos) in
+      Sha256.feed_bytes ctx (Bytes.of_string data) ~pos ~len;
+      feed (pos + len) ((step * 3 mod 97) + 1)
+    end
+  in
+  feed 0 1;
+  check str "streaming" (Sha256.digest_hex data) (Sha256.hex_of_raw (Sha256.finalize ctx))
+
+let test_feed_bounds () =
+  let ctx = Sha256.init () in
+  Alcotest.check_raises "negative pos" (Invalid_argument "Sha256.feed_bytes")
+    (fun () -> Sha256.feed_bytes ctx (Bytes.create 4) ~pos:(-1) ~len:2);
+  Alcotest.check_raises "overflow" (Invalid_argument "Sha256.feed_bytes") (fun () ->
+      Sha256.feed_bytes ctx (Bytes.create 4) ~pos:2 ~len:3)
+
+let qcheck_streaming =
+  QCheck.Test.make ~name:"sha256 chunked = one-shot" ~count:50
+    QCheck.(pair (string_of_size (Gen.int_range 0 500)) (int_range 1 64))
+    (fun (s, chunk) ->
+      let ctx = Sha256.init () in
+      let rec feed pos =
+        if pos < String.length s then begin
+          let len = min chunk (String.length s - pos) in
+          Sha256.feed_bytes ctx (Bytes.of_string s) ~pos ~len;
+          feed (pos + len)
+        end
+      in
+      feed 0;
+      String.equal (Sha256.finalize ctx) (Sha256.digest_string s))
+
+(* --- HMAC ----------------------------------------------------------------- *)
+
+(* RFC 4231 test cases. *)
+let test_hmac_rfc4231 () =
+  check str "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.mac_hex ~key:(String.make 20 '\x0b') "Hi There");
+  check str "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.mac_hex ~key:"Jefe" "what do ya want for nothing?");
+  check str "case 3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hmac.mac_hex ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'));
+  (* case 6: key longer than the block size gets hashed first *)
+  check str "case 6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.mac_hex ~key:(String.make 131 '\xaa')
+       "Test Using Larger Than Block-Size Key - Hash Key First")
+
+let test_hmac_equal () =
+  let a = Hmac.mac ~key:"k" "m" in
+  checkb "same" true (Hmac.equal a (Hmac.mac ~key:"k" "m"));
+  checkb "different msg" false (Hmac.equal a (Hmac.mac ~key:"k" "m'"));
+  checkb "different key" false (Hmac.equal a (Hmac.mac ~key:"k'" "m"));
+  checkb "different length" false (Hmac.equal a "short")
+
+(* --- Digest32 -------------------------------------------------------------- *)
+
+let test_digest32 () =
+  let d = Digest32.of_string "hello" in
+  check str "hex" (Sha256.digest_hex "hello") (Digest32.hex d);
+  check str "short hex" (String.sub (Sha256.digest_hex "hello") 0 10) (Digest32.short_hex d);
+  checkb "roundtrip raw" true (Digest32.equal d (Digest32.of_raw (Digest32.raw d)));
+  checkb "pair differs from parts" false (Digest32.equal (Digest32.pair d d) d);
+  checkb "pair not commutative" false
+    (Digest32.equal
+       (Digest32.pair d (Digest32.of_string "x"))
+       (Digest32.pair (Digest32.of_string "x") d));
+  Alcotest.(check int) "wire size" 32 Digest32.wire_size;
+  Alcotest.check_raises "bad raw" (Invalid_argument "Digest32.of_raw: need 32 bytes")
+    (fun () -> ignore (Digest32.of_raw "short"))
+
+(* --- Keyring ---------------------------------------------------------------- *)
+
+let test_keyring () =
+  let a = Keyring.create ~seed:"s" ~n:9 () in
+  let b = Keyring.create ~seed:"s" ~n:9 () in
+  let c = Keyring.create ~seed:"t" ~n:9 () in
+  checkb "deterministic" true (String.equal (Keyring.secret a 3) (Keyring.secret b 3));
+  checkb "seed-dependent" false (String.equal (Keyring.secret a 3) (Keyring.secret c 3));
+  checkb "distinct per node" false (String.equal (Keyring.secret a 0) (Keyring.secret a 1));
+  Alcotest.(check int) "size" 9 (Keyring.size a);
+  checkb "mem in range" true (Keyring.mem a 8);
+  checkb "mem out of range" false (Keyring.mem a 9);
+  let fp = Keyring.fingerprint a 0 in
+  Alcotest.(check int) "fingerprint length" 40 (String.length fp);
+  checkb "fingerprint hex" true
+    (String.for_all (fun ch -> (ch >= '0' && ch <= '9') || (ch >= 'A' && ch <= 'F')) fp);
+  Alcotest.check_raises "bad id" (Invalid_argument "Keyring.secret: bad node id")
+    (fun () -> ignore (Keyring.secret a 9));
+  Alcotest.check_raises "bad n" (Invalid_argument "Keyring.create: n must be positive")
+    (fun () -> ignore (Keyring.create ~n:0 ()))
+
+(* --- Signature ---------------------------------------------------------------- *)
+
+let test_signature () =
+  let ring = Keyring.create ~n:4 () in
+  let s = Signature.sign ring ~signer:2 "message" in
+  checkb "verifies" true (Signature.verify ring s "message");
+  checkb "wrong message" false (Signature.verify ring s "other");
+  checkb "claimed wrong signer" false
+    (Signature.verify ring { s with Signature.signer = 1 } "message");
+  checkb "forged" false (Signature.verify ring (Signature.forge ~signer:2 "message") "message");
+  checkb "unknown signer" false
+    (Signature.verify ring { s with Signature.signer = 99 } "message");
+  Alcotest.(check int) "kappa" 64 Signature.wire_size;
+  checkb "equal" true (Signature.equal s (Signature.sign ring ~signer:2 "message"))
+
+(* --- Merkle ---------------------------------------------------------------- *)
+
+let leaves k = List.init k (fun i -> Digest32.of_string (Printf.sprintf "leaf-%d" i))
+
+let test_merkle_roundtrip () =
+  List.iter
+    (fun k ->
+      let ls = leaves k in
+      let root = Merkle.root ls in
+      List.iteri
+        (fun index leaf ->
+          let proof = Merkle.prove ls ~index in
+          checkb
+            (Printf.sprintf "verify k=%d i=%d" k index)
+            true
+            (Merkle.verify ~root ~leaf ~index proof))
+        ls)
+    [ 1; 2; 3; 4; 5; 7; 8; 16; 33 ]
+
+let test_merkle_tamper () =
+  let ls = leaves 8 in
+  let root = Merkle.root ls in
+  let proof = Merkle.prove ls ~index:3 in
+  checkb "wrong leaf" false
+    (Merkle.verify ~root ~leaf:(Digest32.of_string "evil") ~index:3 proof);
+  checkb "wrong root" false
+    (Merkle.verify ~root:(Digest32.of_string "evil") ~leaf:(List.nth ls 3) ~index:3 proof);
+  Alcotest.(check int) "proof size" (3 * 33) (Merkle.proof_wire_size proof)
+
+let test_merkle_errors () =
+  Alcotest.check_raises "empty root" (Invalid_argument "Merkle.root: empty leaf list")
+    (fun () -> ignore (Merkle.root []));
+  Alcotest.check_raises "bad index" (Invalid_argument "Merkle.prove: index out of range")
+    (fun () -> ignore (Merkle.prove (leaves 4) ~index:4))
+
+let qcheck_merkle =
+  QCheck.Test.make ~name:"merkle proofs verify for random sizes" ~count:40
+    QCheck.(int_range 1 64)
+    (fun k ->
+      let ls = leaves k in
+      let root = Merkle.root ls in
+      List.for_all
+        (fun index -> Merkle.verify ~root ~leaf:(List.nth ls index) ~index (Merkle.prove ls ~index))
+        (List.init k Fun.id))
+
+let suite =
+  [
+    ("sha256 NIST vectors", `Quick, test_nist);
+    ("sha256 one million a's", `Slow, test_million_a);
+    ("sha256 streaming", `Quick, test_streaming_matches_oneshot);
+    ("sha256 feed bounds", `Quick, test_feed_bounds);
+    QCheck_alcotest.to_alcotest qcheck_streaming;
+    ("hmac RFC 4231", `Quick, test_hmac_rfc4231);
+    ("hmac constant-time equal", `Quick, test_hmac_equal);
+    ("digest32", `Quick, test_digest32);
+    ("keyring", `Quick, test_keyring);
+    ("signature scheme", `Quick, test_signature);
+    ("merkle roundtrip", `Quick, test_merkle_roundtrip);
+    ("merkle tamper detection", `Quick, test_merkle_tamper);
+    ("merkle errors", `Quick, test_merkle_errors);
+    QCheck_alcotest.to_alcotest qcheck_merkle;
+  ]

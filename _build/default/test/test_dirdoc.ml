@@ -1,0 +1,581 @@
+(* Tests for the directory-document substrate: flags, versions, exit
+   policies, timestamps, votes (incl. serialize/parse roundtrips), and
+   every Figure 2 aggregation rule. *)
+
+open Dirdoc
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* --- Flags --------------------------------------------------------------- *)
+
+let test_flags_basic () =
+  let f = Flags.of_list [ Flags.Fast; Flags.Running; Flags.Valid ] in
+  checkb "mem" true (Flags.mem Flags.Fast f);
+  checkb "not mem" false (Flags.mem Flags.Guard f);
+  checki "cardinal" 3 (Flags.cardinal f);
+  checks "to_string sorted" "Fast Running Valid" (Flags.to_string f);
+  checkb "remove" false (Flags.mem Flags.Fast (Flags.remove Flags.Fast f));
+  checki "all flags" 13 (List.length Flags.all)
+
+let test_flags_parse () =
+  (match Flags.of_string "Exit Fast Guard" with
+  | Ok f ->
+      checkb "parsed" true (Flags.mem Flags.Exit f && Flags.mem Flags.Guard f)
+  | Error e -> Alcotest.fail e);
+  (match Flags.of_string "Exit Bogus" with
+  | Ok _ -> Alcotest.fail "accepted unknown flag"
+  | Error _ -> ());
+  match Flags.of_string "" with
+  | Ok f -> checkb "empty" true (Flags.equal f Flags.empty)
+  | Error e -> Alcotest.fail e
+
+let qcheck_flags_roundtrip =
+  let gen_flags =
+    QCheck.map
+      (fun bits -> List.filteri (fun i _ -> bits land (1 lsl i) <> 0) Flags.all)
+      QCheck.(int_bound 8191)
+  in
+  QCheck.Test.make ~name:"flags string roundtrip" ~count:100 gen_flags (fun flags ->
+      let set = Flags.of_list flags in
+      match Flags.of_string (Flags.to_string set) with
+      | Ok back -> Flags.equal set back
+      | Error _ -> false)
+
+(* --- Version ---------------------------------------------------------------- *)
+
+let test_version_order () =
+  let v a = match Version.of_string a with Ok v -> v | Error e -> Alcotest.fail e in
+  checkb "patch" true (Version.compare (v "0.4.8.12") (v "0.4.8.11") > 0);
+  checkb "minor" true (Version.compare (v "0.5.0.0") (v "0.4.9.9") > 0);
+  checkb "alpha before release" true (Version.compare (v "0.4.8.12-alpha") (v "0.4.8.12") < 0);
+  checkb "equal" true (Version.equal (v "0.4.8.12") (v "0.4.8.12"));
+  checks "max" "0.4.9.1" (Version.to_string (Version.max (v "0.4.9.1") (v "0.4.8.12")));
+  checks "roundtrip tag" "0.4.9.1-alpha" (Version.to_string (v "0.4.9.1-alpha"))
+
+let test_version_invalid () =
+  List.iter
+    (fun s ->
+      match Version.of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+      | Error _ -> ())
+    [ "1.2.3"; "a.b.c.d"; ""; "1.2.3.4.5" ]
+
+(* --- Exit policy --------------------------------------------------------------- *)
+
+let test_exit_policy_normalize () =
+  let p = Exit_policy.make Exit_policy.Accept [ (443, 443); (80, 80); (81, 90); (85, 100) ] in
+  checks "merged+sorted" "accept 80-100,443" (Exit_policy.to_string p);
+  checkb "allows" true (Exit_policy.allows_port p 85);
+  checkb "blocks" false (Exit_policy.allows_port p 22);
+  checkb "reject semantics" false (Exit_policy.allows_port Exit_policy.reject_all 80)
+
+let test_exit_policy_parse () =
+  (match Exit_policy.of_string "accept 80,443,8000-8100" with
+  | Ok p ->
+      checkb "ranges" true (Exit_policy.allows_port p 8050);
+      checks "canonical" "accept 80,443,8000-8100" (Exit_policy.to_string p)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun s ->
+      match Exit_policy.of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+      | Error _ -> ())
+    [ "allow 80"; "accept"; "accept 0-10"; "accept 80-99999"; "accept x" ]
+
+let test_exit_policy_compare () =
+  let a = Exit_policy.make Exit_policy.Accept [ (80, 80) ] in
+  let r = Exit_policy.make Exit_policy.Reject [ (80, 80) ] in
+  (* "reject ..." > "accept ..." lexicographically. *)
+  checkb "lexicographic" true (Exit_policy.compare r a > 0);
+  checkb "max" true (Exit_policy.equal (Exit_policy.max a r) r)
+
+(* --- Timefmt ---------------------------------------------------------------- *)
+
+let test_timefmt_known () =
+  checks "epoch" "1970-01-01 00:00:00" (Timefmt.to_string 0.);
+  checks "y2k26" "2026-01-01 01:00:00"
+    (match Timefmt.of_string "2026-01-01 01:00:00" with
+    | Ok t -> Timefmt.to_string t
+    | Error e -> e);
+  checki "leap day" (Timefmt.days_from_civil ~year:2024 ~month:3 ~day:1)
+    (Timefmt.days_from_civil ~year:2024 ~month:2 ~day:29 + 1)
+
+let qcheck_timefmt_roundtrip =
+  QCheck.Test.make ~name:"timefmt roundtrip" ~count:200
+    QCheck.(int_range 0 4102444800 (* year 2100 *))
+    (fun secs ->
+      let s = Timefmt.to_string (float_of_int secs) in
+      match Timefmt.of_string s with
+      | Ok back -> int_of_float back = secs
+      | Error _ -> false)
+
+let qcheck_civil_inverse =
+  QCheck.Test.make ~name:"civil_from_days inverse" ~count:200
+    QCheck.(int_range (-100000) 100000)
+    (fun days ->
+      let year, month, day = Timefmt.civil_from_days days in
+      Timefmt.days_from_civil ~year ~month ~day = days)
+
+(* --- Relay ---------------------------------------------------------------- *)
+
+let sample_relay ?(fingerprint = String.make 40 'A') ?(bandwidth = 1000) ?measured
+    ?(flags = Flags.of_list [ Flags.Running; Flags.Valid ])
+    ?(version = Version.make 0 4 8 12) ?(exit_policy = Exit_policy.reject_all)
+    ?(nickname = "relay") () =
+  Relay.make ~fingerprint ~nickname ~address:"192.0.2.1" ~or_port:9001 ~published:0.
+    ~flags ~version ~bandwidth ?measured ~exit_policy ()
+
+let test_relay_validation () =
+  Alcotest.check_raises "bad fingerprint"
+    (Invalid_argument "Relay.make: fingerprint must be 40 uppercase hex chars")
+    (fun () -> ignore (sample_relay ~fingerprint:"xyz" ()));
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Relay.make: negative bandwidth") (fun () ->
+      ignore (sample_relay ~bandwidth:(-1) ()))
+
+(* --- Vote ---------------------------------------------------------------- *)
+
+let fp i = Printf.sprintf "%040X" i
+
+let sample_vote ?(authority = 0) ?(n_relays = 5) () =
+  let relays = List.init n_relays (fun i -> sample_relay ~fingerprint:(fp i) ()) in
+  Vote.create ~authority ~authority_fingerprint:(fp 1000) ~nickname:"moria1"
+    ~published:1000. ~valid_after:4600. ~relays
+
+let test_vote_create () =
+  let v = sample_vote () in
+  checki "n_relays" 5 (Vote.n_relays v);
+  checkb "sorted" true
+    (let rec sorted i =
+       i >= Array.length v.Vote.relays - 1
+       || Relay.compare_fingerprint v.Vote.relays.(i) v.Vote.relays.(i + 1) < 0 && sorted (i + 1)
+     in
+     sorted 0);
+  checkb "find hit" true (Vote.find v ~fingerprint:(fp 3) <> None);
+  checkb "find miss" true (Vote.find v ~fingerprint:(fp 99) = None);
+  checki "wire size" (2048 + (5 * Relay.entry_wire_bytes)) (Vote.wire_size v);
+  Alcotest.(check (float 0.)) "validity window" (4600. +. (3. *. 3600.)) v.Vote.valid_until
+
+let test_vote_duplicate_raises () =
+  let relays = [ sample_relay (); sample_relay () ] in
+  Alcotest.check_raises "dup" (Invalid_argument "Vote.create: duplicate relay fingerprint")
+    (fun () ->
+      ignore
+        (Vote.create ~authority:0 ~authority_fingerprint:(fp 1) ~nickname:"x"
+           ~published:0. ~valid_after:0. ~relays))
+
+let test_vote_digest_sensitivity () =
+  let v1 = sample_vote () in
+  let v2 = sample_vote () in
+  checkb "deterministic digest" true (Vote.equal v1 v2);
+  let v3 = sample_vote ~n_relays:4 () in
+  checkb "relay change alters digest" false (Vote.equal v1 v3);
+  let v4 = sample_vote ~authority:1 () in
+  checkb "authority alters digest" false (Vote.equal v1 v4)
+
+let test_vote_serialize_roundtrip () =
+  let relays =
+    [
+      sample_relay ~fingerprint:(fp 1) ~bandwidth:500 ~measured:450
+        ~flags:(Flags.of_list [ Flags.Exit; Flags.Fast; Flags.Running ])
+        ~exit_policy:(Exit_policy.make Exit_policy.Accept [ (80, 80); (443, 443) ])
+        ();
+      sample_relay ~fingerprint:(fp 2) ~version:(Version.make ~tag:"alpha" 0 4 9 1) ();
+    ]
+  in
+  let v =
+    Vote.create ~authority:3 ~authority_fingerprint:(fp 1003) ~nickname:"gabelmoo"
+      ~published:1767229200. ~valid_after:1767232800. ~relays
+  in
+  match Vote.parse (Vote.serialize v) with
+  | Ok back ->
+      checkb "content equal" true (Vote.equal v back);
+      checki "authority" 3 back.Vote.authority;
+      checks "nickname" "gabelmoo" back.Vote.nickname
+  | Error e -> Alcotest.fail e
+
+let test_vote_parse_garbage () =
+  (match Vote.parse "not a vote" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ());
+  match Vote.parse "" with Ok _ -> Alcotest.fail "accepted empty" | Error _ -> ()
+
+let qcheck_vote_roundtrip =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = int_range 0 20 in
+        let* seed = int_range 0 10000 in
+        return (n, seed))
+  in
+  QCheck.Test.make ~name:"vote serialize/parse roundtrip (random workloads)" ~count:20 gen
+    (fun (n, seed) ->
+      let rng = Tor_sim.Rng.create (Int64.of_int seed) in
+      let relays = Workload.relays ~rng ~n ~published:1767229200. in
+      let v =
+        Vote.create ~authority:0 ~authority_fingerprint:(fp 1000) ~nickname:"moria1"
+          ~published:1767229200. ~valid_after:1767232800. ~relays
+      in
+      match Vote.parse (Vote.serialize v) with
+      | Ok back -> Vote.equal v back
+      | Error _ -> false)
+
+(* --- Aggregate: the Figure 2 rules --------------------------------------------- *)
+
+let test_threshold () =
+  checki "9 votes" 5 (Aggregate.include_threshold ~n_votes:9);
+  checki "7 votes" 4 (Aggregate.include_threshold ~n_votes:7);
+  checki "5 votes" 3 (Aggregate.include_threshold ~n_votes:5)
+
+let test_low_median () =
+  checki "odd" 3 (Aggregate.low_median [ 5; 1; 3 ]);
+  checki "even takes lower" 2 (Aggregate.low_median [ 4; 2; 3; 1 ]);
+  checki "single" 7 (Aggregate.low_median [ 7 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Aggregate.low_median: empty list")
+    (fun () -> ignore (Aggregate.low_median []))
+
+let vote_of ~authority relays =
+  Vote.create ~authority ~authority_fingerprint:(fp (1000 + authority))
+    ~nickname:(Workload.authority_nickname authority) ~published:0. ~valid_after:0.
+    ~relays
+
+let test_inclusion_majority () =
+  (* Relay listed by 5 of 9 is included; by 4 of 9 is not. *)
+  let listed = sample_relay ~fingerprint:(fp 1) () in
+  let votes k =
+    List.init 9 (fun a -> vote_of ~authority:a (if a < k then [ listed ] else []))
+  in
+  let c5 = Aggregate.consensus ~valid_after:0. ~votes:(votes 5) in
+  let c4 = Aggregate.consensus ~valid_after:0. ~votes:(votes 4) in
+  checki "5 listings include" 1 (Consensus.n_entries c5);
+  checki "4 listings exclude" 0 (Consensus.n_entries c4)
+
+let test_nickname_largest_authority () =
+  let entry =
+    Aggregate.aggregate_relay
+      [
+        (2, sample_relay ~nickname:"fromTwo" ());
+        (7, sample_relay ~nickname:"fromSeven" ());
+        (4, sample_relay ~nickname:"fromFour" ());
+      ]
+  in
+  checks "largest authority names" "fromSeven" entry.Consensus.nickname
+
+let test_flag_majority_and_tie () =
+  let with_flags flags = sample_relay ~flags:(Flags.of_list flags) () in
+  let entry =
+    Aggregate.aggregate_relay
+      [
+        (0, with_flags [ Flags.Fast; Flags.Guard ]);
+        (1, with_flags [ Flags.Fast; Flags.Guard ]);
+        (2, with_flags [ Flags.Fast ]);
+        (3, with_flags [ Flags.Guard ]);
+      ]
+  in
+  (* Fast: 3/4 -> set.  Guard: 3/4 -> set. *)
+  checkb "fast majority" true (Flags.mem Flags.Fast entry.Consensus.flags);
+  let tie =
+    Aggregate.aggregate_relay
+      [ (0, with_flags [ Flags.Fast ]); (1, with_flags []) ]
+  in
+  (* 1 of 2 is a tie: flag stays unset (Figure 2). *)
+  checkb "tie unset" false (Flags.mem Flags.Fast tie.Consensus.flags)
+
+let test_version_popular_and_tie () =
+  let with_version v = sample_relay ~version:v () in
+  let old = Version.make 0 4 7 16 and new_ = Version.make 0 4 8 12 in
+  let entry =
+    Aggregate.aggregate_relay
+      [ (0, with_version old); (1, with_version old); (2, with_version new_) ]
+  in
+  checks "popular wins" (Version.to_string old)
+    (Version.to_string entry.Consensus.version);
+  let tie =
+    Aggregate.aggregate_relay [ (0, with_version old); (1, with_version new_) ]
+  in
+  checks "tie takes larger" (Version.to_string new_)
+    (Version.to_string tie.Consensus.version)
+
+let test_exit_policy_tie () =
+  let a = Exit_policy.make Exit_policy.Accept [ (80, 80) ] in
+  let r = Exit_policy.reject_all in
+  let tie =
+    Aggregate.aggregate_relay
+      [ (0, sample_relay ~exit_policy:a ()); (1, sample_relay ~exit_policy:r ()) ]
+  in
+  (* "reject 1-65535" > "accept 80" lexicographically. *)
+  checks "lexicographically larger wins" (Exit_policy.to_string r)
+    (Exit_policy.to_string tie.Consensus.exit_policy)
+
+let test_bandwidth_median () =
+  let bw ~advertised ?measured () = sample_relay ~bandwidth:advertised ?measured () in
+  let entry =
+    Aggregate.aggregate_relay
+      [
+        (0, bw ~advertised:100 ~measured:10 ());
+        (1, bw ~advertised:100 ~measured:30 ());
+        (2, bw ~advertised:100 ~measured:20 ());
+      ]
+  in
+  checki "median of measured" 20 entry.Consensus.bandwidth;
+  let unmeasured =
+    Aggregate.aggregate_relay
+      [ (0, bw ~advertised:100 ()); (1, bw ~advertised:300 ()); (2, bw ~advertised:200 ()) ]
+  in
+  checki "falls back to advertised" 200 unmeasured.Consensus.bandwidth;
+  let mixed =
+    Aggregate.aggregate_relay
+      [ (0, bw ~advertised:999 ~measured:50 ()); (1, bw ~advertised:999 ()) ]
+  in
+  checki "measured preferred when present" 50 mixed.Consensus.bandwidth
+
+let test_aggregate_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Aggregate.aggregate_relay: empty listings")
+    (fun () -> ignore (Aggregate.aggregate_relay []));
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Aggregate.aggregate_relay: mismatched fingerprints") (fun () ->
+      ignore
+        (Aggregate.aggregate_relay
+           [ (0, sample_relay ~fingerprint:(fp 1) ()); (1, sample_relay ~fingerprint:(fp 2) ()) ]));
+  Alcotest.check_raises "duplicate authority"
+    (Invalid_argument "Aggregate.consensus: duplicate authority vote") (fun () ->
+      ignore
+        (Aggregate.consensus ~valid_after:0.
+           ~votes:[ vote_of ~authority:1 []; vote_of ~authority:1 [] ]))
+
+let qcheck_consensus_order_independent =
+  QCheck.Test.make ~name:"consensus independent of vote order" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Tor_sim.Rng.create (Int64.of_int seed) in
+      let keyring = Crypto.Keyring.create ~n:9 () in
+      let votes =
+        Workload.votes ~rng ~keyring ~n_authorities:9 ~n_relays:50 ~valid_after:0. ()
+        |> Array.to_list
+      in
+      let shuffled =
+        let arr = Array.of_list votes in
+        Tor_sim.Rng.shuffle rng arr;
+        Array.to_list arr
+      in
+      Consensus.equal
+        (Aggregate.consensus ~valid_after:0. ~votes)
+        (Aggregate.consensus ~valid_after:0. ~votes:shuffled))
+
+(* --- Consensus document --------------------------------------------------------- *)
+
+let test_consensus_validity_window () =
+  let c = Consensus.create ~valid_after:1000. ~n_votes:9 ~entries:[] in
+  checkb "fresh before 1h" true (Consensus.is_fresh c ~now:2000.);
+  checkb "stale after 1h" false (Consensus.is_fresh c ~now:(1000. +. 3601.));
+  checkb "valid before 3h" true (Consensus.is_valid c ~now:(1000. +. 10000.));
+  checkb "invalid after 3h" false (Consensus.is_valid c ~now:(1000. +. 10801.))
+
+let test_consensus_serialize () =
+  let entries =
+    [
+      {
+        Consensus.fingerprint = fp 1;
+        nickname = "relay1";
+        flags = Flags.of_list [ Flags.Running ];
+        version = Version.make 0 4 8 12;
+        protocols = Relay.default_protocols;
+        bandwidth = 100;
+        exit_policy = Exit_policy.reject_all;
+      };
+    ]
+  in
+  let c = Consensus.create ~valid_after:1767232800. ~n_votes:9 ~entries in
+  let text = Consensus.serialize c in
+  let contains needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "has status line" true (contains "vote-status consensus");
+  checkb "has relay" true (contains "r relay1");
+  checkb "find" true (Consensus.find c ~fingerprint:(fp 1) <> None)
+
+(* --- Workload ---------------------------------------------------------------- *)
+
+let test_workload_determinism () =
+  let keyring = Crypto.Keyring.create ~n:9 () in
+  let votes seed =
+    Workload.votes ~rng:(Tor_sim.Rng.of_string_seed seed) ~keyring ~n_authorities:9
+      ~n_relays:100 ~valid_after:3600. ()
+  in
+  let a = votes "s1" and b = votes "s1" and c = votes "s2" in
+  checkb "same seed same votes" true (Vote.equal a.(0) b.(0));
+  checkb "different seed differs" false (Vote.equal a.(0) c.(0))
+
+let test_workload_divergence () =
+  let keyring = Crypto.Keyring.create ~n:9 () in
+  let rng = Tor_sim.Rng.of_string_seed "w" in
+  let identical =
+    Workload.votes ~rng ~divergence:Workload.no_divergence ~keyring ~n_authorities:9
+      ~n_relays:50 ~valid_after:3600. ()
+  in
+  (* With no divergence every authority's relay list is identical
+     (though vote digests still differ by authority identity). *)
+  checki "same relay count" (Vote.n_relays identical.(0)) (Vote.n_relays identical.(8));
+  let all_equal =
+    Array.for_all
+      (fun (v : Vote.t) ->
+        Array.for_all2 Relay.equal v.Vote.relays identical.(0).Vote.relays)
+      identical
+  in
+  checkb "no divergence -> identical views" true all_equal;
+  let divergent =
+    Workload.votes ~rng ~keyring ~n_authorities:9 ~n_relays:200 ~valid_after:3600. ()
+  in
+  let some_differ =
+    Array.exists
+      (fun (v : Vote.t) ->
+        Vote.n_relays v <> Vote.n_relays divergent.(0)
+        || not (Array.for_all2 Relay.equal v.Vote.relays divergent.(0).Vote.relays))
+      divergent
+  in
+  checkb "default divergence -> views differ" true some_differ
+
+let test_workload_aggregatable () =
+  (* Divergent views must still produce a consensus covering most of
+     the ground truth: inclusion is majority-based. *)
+  let keyring = Crypto.Keyring.create ~n:9 () in
+  let rng = Tor_sim.Rng.of_string_seed "agg" in
+  let votes =
+    Workload.votes ~rng ~keyring ~n_authorities:9 ~n_relays:300 ~valid_after:3600. ()
+  in
+  let c = Aggregate.consensus ~valid_after:3600. ~votes:(Array.to_list votes) in
+  checkb "most relays survive aggregation" true (Consensus.n_entries c > 280)
+
+let test_authority_nicknames () =
+  checks "first" "moria1" (Workload.authority_nickname 0);
+  checks "ninth" "faravahar" (Workload.authority_nickname 8);
+  checks "synthetic" "auth9" (Workload.authority_nickname 9)
+
+(* --- Metrics trace ---------------------------------------------------------------- *)
+
+let test_metrics_trace () =
+  let rng = Tor_sim.Rng.of_string_seed "metrics" in
+  let series = Metrics_trace.series ~rng () in
+  Alcotest.(check (float 1e-6)) "mean recentred" Metrics_trace.paper_mean
+    (Metrics_trace.mean series);
+  checkb "positive counts" true (Metrics_trace.minimum series > 0.);
+  checkb "plausible ceiling" true (Metrics_trace.maximum series < 12_000.);
+  let monthly = Metrics_trace.monthly series in
+  checki "26 months Sep 2022 - Oct 2024" 26 (List.length monthly);
+  checks "first month" "2022-09" (fst (List.hd monthly));
+  checks "last month" "2024-10" (fst (List.nth monthly 25))
+
+
+let test_workload_churn () =
+  let rng = Tor_sim.Rng.of_string_seed "churn" in
+  let relays = Workload.relays ~rng ~n:1000 ~published:0. in
+  let next = Workload.evolve ~rng ~published:3600. relays in
+  let count = List.length next in
+  (* ~1.5% leave and ~1.5% join: the population stays near 1000. *)
+  checkb "population roughly stable" true (count > 940 && count < 1060);
+  let fingerprints relays =
+    List.map (fun (r : Relay.t) -> r.Relay.fingerprint) relays
+    |> List.sort_uniq String.compare
+  in
+  checki "no duplicate fingerprints" count (List.length (fingerprints next));
+  let before = fingerprints relays and after = fingerprints next in
+  let departed = List.filter (fun fp -> not (List.mem fp after)) before in
+  let joined = List.filter (fun fp -> not (List.mem fp before)) after in
+  checkb "some churn happened" true (departed <> [] && joined <> []);
+  checkb "churn is small" true
+    (List.length departed < 60 && List.length joined < 30);
+  (* Republishing bumps the published timestamp on some survivors. *)
+  let republished =
+    List.filter (fun (r : Relay.t) -> r.Relay.published = 3600.) next
+  in
+  checkb "about 30% republished" true
+    (List.length republished > 150 && List.length republished < 500)
+
+
+let test_consensus_parse_roundtrip () =
+  let keyring = Crypto.Keyring.create ~n:9 () in
+  let rng = Tor_sim.Rng.of_string_seed "cparse" in
+  let votes =
+    Workload.votes ~rng ~keyring ~n_authorities:9 ~n_relays:60 ~valid_after:3600. ()
+  in
+  let c = Aggregate.consensus ~valid_after:3600. ~votes:(Array.to_list votes) in
+  match Consensus.parse (Consensus.serialize c) with
+  | Ok back ->
+      checkb "content equal" true (Consensus.equal c back);
+      checki "same entries" (Consensus.n_entries c) (Consensus.n_entries back)
+  | Error e -> Alcotest.fail e
+
+let test_consensus_parse_garbage () =
+  (match Consensus.parse "nonsense" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ());
+  match Consensus.parse "" with
+  | Ok _ -> Alcotest.fail "accepted empty"
+  | Error _ -> ()
+
+(* Fuzz both parsers: random mutations of a valid document must either
+   parse or return Error — never raise. *)
+let qcheck_parser_fuzz =
+  let base =
+    let keyring = Crypto.Keyring.create ~n:9 () in
+    let rng = Tor_sim.Rng.of_string_seed "fuzz" in
+    let votes =
+      Workload.votes ~rng ~keyring ~n_authorities:9 ~n_relays:20 ~valid_after:3600. ()
+    in
+    Vote.serialize votes.(0)
+  in
+  QCheck.Test.make ~name:"parsers never raise on mutated input" ~count:100
+    QCheck.(pair (int_bound (String.length base - 1)) (int_bound 255))
+    (fun (pos, byte) ->
+      let mutated = Bytes.of_string base in
+      Bytes.set mutated pos (Char.chr byte);
+      let text = Bytes.to_string mutated in
+      (match Vote.parse text with Ok _ | Error _ -> true)
+      && (match Consensus.parse text with Ok _ | Error _ -> true))
+
+let suite =
+  [
+    ("flags basics", `Quick, test_flags_basic);
+    ("flags parsing", `Quick, test_flags_parse);
+    QCheck_alcotest.to_alcotest qcheck_flags_roundtrip;
+    ("version ordering", `Quick, test_version_order);
+    ("version invalid", `Quick, test_version_invalid);
+    ("exit policy normalize", `Quick, test_exit_policy_normalize);
+    ("exit policy parse", `Quick, test_exit_policy_parse);
+    ("exit policy compare", `Quick, test_exit_policy_compare);
+    ("timefmt known values", `Quick, test_timefmt_known);
+    QCheck_alcotest.to_alcotest qcheck_timefmt_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_civil_inverse;
+    ("relay validation", `Quick, test_relay_validation);
+    ("vote create", `Quick, test_vote_create);
+    ("vote duplicate rejection", `Quick, test_vote_duplicate_raises);
+    ("vote digest sensitivity", `Quick, test_vote_digest_sensitivity);
+    ("vote serialize roundtrip", `Quick, test_vote_serialize_roundtrip);
+    ("vote parse garbage", `Quick, test_vote_parse_garbage);
+    QCheck_alcotest.to_alcotest qcheck_vote_roundtrip;
+    ("inclusion threshold", `Quick, test_threshold);
+    ("low median", `Quick, test_low_median);
+    ("inclusion needs majority", `Quick, test_inclusion_majority);
+    ("nickname from largest authority", `Quick, test_nickname_largest_authority);
+    ("flag majority with tie unset", `Quick, test_flag_majority_and_tie);
+    ("version popular vote and tie", `Quick, test_version_popular_and_tie);
+    ("exit policy tie-break", `Quick, test_exit_policy_tie);
+    ("bandwidth median rules", `Quick, test_bandwidth_median);
+    ("aggregate errors", `Quick, test_aggregate_errors);
+    QCheck_alcotest.to_alcotest qcheck_consensus_order_independent;
+    ("consensus validity window", `Quick, test_consensus_validity_window);
+    ("consensus serialize", `Quick, test_consensus_serialize);
+    ("workload determinism", `Quick, test_workload_determinism);
+    ("workload divergence", `Quick, test_workload_divergence);
+    ("workload aggregatable", `Quick, test_workload_aggregatable);
+    ("authority nicknames", `Quick, test_authority_nicknames);
+    ("metrics trace", `Quick, test_metrics_trace);
+    ("workload churn", `Quick, test_workload_churn);
+    ("consensus parse roundtrip", `Quick, test_consensus_parse_roundtrip);
+    ("consensus parse garbage", `Quick, test_consensus_parse_garbage);
+    QCheck_alcotest.to_alcotest qcheck_parser_fuzz;
+  ]

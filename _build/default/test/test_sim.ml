@@ -1,0 +1,400 @@
+(* Tests for the discrete-event simulator: event ordering, the NIC
+   bandwidth model (incl. DDoS windows and deadlines), determinism. *)
+
+open Tor_sim
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg = Alcotest.check (Alcotest.float 1e-6) msg
+
+(* --- Simtime ---------------------------------------------------------------- *)
+
+let test_simtime () =
+  checkf "minutes" 300. (Simtime.minutes 5.);
+  checkf "ms" 0.15 (Simtime.ms 150.);
+  checkb "never" true (Simtime.is_infinite Simtime.never);
+  Alcotest.(check string) "pp" "02:30.000" (Format.asprintf "%a" Simtime.pp 150.);
+  Alcotest.(check string) "tor log epoch" "Jan 01 01:00:00.000"
+    (Format.asprintf "%a" Simtime.pp_tor_log 0.);
+  Alcotest.(check string) "tor log" "Jan 01 01:24:30.011"
+    (Format.asprintf "%a" Simtime.pp_tor_log 1470.011)
+
+(* --- Rng ---------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done;
+  let c = Rng.of_string_seed "seed" and d = Rng.of_string_seed "seed" in
+  Alcotest.(check int64) "string seed" (Rng.next_int64 c) (Rng.next_int64 d)
+
+let test_rng_split () =
+  let a = Rng.create 1L in
+  let child = Rng.split a in
+  checkb "child differs from parent stream" true
+    (Rng.next_int64 child <> Rng.next_int64 a)
+
+let qcheck_rng_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:200
+    QCheck.(pair (int_range 1 1000) small_int)
+    (fun (bound, seed) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let qcheck_rng_range =
+  QCheck.Test.make ~name:"rng range inclusive" ~count:200
+    QCheck.(pair (pair (int_range (-50) 50) (int_range 0 100)) small_int)
+    (fun ((min, extra), seed) ->
+      let max = min + extra in
+      let rng = Rng.create (Int64.of_int seed) in
+      let v = Rng.range rng ~min ~max in
+      v >= min && v <= max)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 7L in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_gaussian () =
+  let rng = Rng.create 9L in
+  let k = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to k do
+    sum := !sum +. Rng.gaussian rng ~mean:5. ~stddev:2.
+  done;
+  let mean = !sum /. float_of_int k in
+  checkb "gaussian mean near 5" true (Float.abs (mean -. 5.) < 0.1)
+
+let test_rng_errors () =
+  let rng = Rng.create 0L in
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Rng.pick rng ([] : int list)))
+
+(* --- Event queue ------------------------------------------------------------ *)
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3. "c";
+  Event_queue.push q ~time:1. "a";
+  Event_queue.push q ~time:2. "b";
+  let pop () = match Event_queue.pop q with Some (_, x) -> x | None -> "-" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] [ first; second; third ];
+  checkb "empty" true (Event_queue.is_empty q)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun x -> Event_queue.push q ~time:1. x) [ 1; 2; 3; 4; 5 ];
+  let out = List.init 5 (fun _ -> match Event_queue.pop q with Some (_, x) -> x | None -> -1) in
+  Alcotest.(check (list int)) "insertion order at equal times" [ 1; 2; 3; 4; 5 ] out
+
+let test_queue_invalid_time () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "infinite" (Invalid_argument "Event_queue.push: time must be finite")
+    (fun () -> Event_queue.push q ~time:infinity ())
+
+let qcheck_queue_sorted =
+  QCheck.Test.make ~name:"event queue pops sorted" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 100) (float_range 0. 1000.))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, ()) -> drain (t :: acc)
+      in
+      let out = drain [] in
+      out = List.sort Float.compare times)
+
+(* --- Engine -------------------------------------------------------------- *)
+
+let test_engine_order_and_clock () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Engine.now e) :: !log in
+  ignore (Engine.schedule e ~at:2. (note "b"));
+  ignore (Engine.schedule e ~at:1. (note "a"));
+  ignore (Engine.schedule_in e ~after:3. (note "c"));
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 0.))))
+    "ordered with clock" [ ("a", 1.); ("b", 2.); ("c", 3.) ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~at:1. (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  checkb "cancelled event did not fire" false !fired
+
+let test_engine_horizon () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~at:1. (fun () -> incr fired));
+  ignore (Engine.schedule e ~at:10. (fun () -> incr fired));
+  Engine.run ~until:5. e;
+  checki "only events before horizon" 1 !fired;
+  checkf "clock at horizon" 5. (Engine.now e)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let order = ref [] in
+  ignore
+    (Engine.schedule e ~at:1. (fun () ->
+         order := "outer" :: !order;
+         ignore (Engine.schedule_in e ~after:1. (fun () -> order := "inner" :: !order))));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "inner"; "outer" ] !order
+
+let test_engine_past_raises () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~at:5. (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: time is in the past")
+    (fun () -> ignore (Engine.schedule e ~at:1. (fun () -> ())))
+
+(* --- NIC ---------------------------------------------------------------- *)
+
+let test_nic_basic_rate () =
+  (* 1 Mbit/s = 125 kB/s; 125 kB takes 1 s. *)
+  let nic = Nic.create ~bits_per_sec:1e6 () in
+  checkf "transfer time" 1. (Nic.transfer_time nic ~now:0. ~bytes:125_000);
+  checkf "fifo accumulates" 2.
+    (let _ = Nic.reserve nic ~now:0. ~bytes:125_000 in
+     Nic.reserve nic ~now:0. ~bytes:125_000)
+
+let test_nic_zero_rate_forever () =
+  let nic = Nic.create ~bits_per_sec:0. () in
+  checkb "never finishes" true
+    (Simtime.is_infinite (Nic.transfer_time nic ~now:0. ~bytes:1))
+
+let test_nic_window_stall () =
+  (* Rate zero during [0, 10); transfer enqueued at t=0 completes at
+     10 + size/rate once the window lifts. *)
+  let nic = Nic.create ~bits_per_sec:1e6 () in
+  Nic.limit_window nic ~start:0. ~stop:10. ~bits_per_sec:0.;
+  checkf "drains after window" 11. (Nic.reserve nic ~now:0. ~bytes:125_000)
+
+let test_nic_window_partial () =
+  (* 2 s worth of bytes at full rate, but the second half of the
+     transfer crosses into a half-rate window. *)
+  let nic = Nic.create ~bits_per_sec:1e6 () in
+  Nic.limit_window nic ~start:1. ~stop:100. ~bits_per_sec:0.5e6;
+  (* 250 kB: 125 kB in the first second, the rest at half rate = 2 s. *)
+  checkf "split across rates" 3. (Nic.reserve nic ~now:0. ~bytes:250_000)
+
+let test_nic_window_restores () =
+  let nic = Nic.create ~bits_per_sec:1e6 () in
+  Nic.limit_window nic ~start:5. ~stop:10. ~bits_per_sec:0.1e6;
+  checkf "before" 1e6 (Nic.rate_at nic 0.);
+  checkf "inside" 0.1e6 (Nic.rate_at nic 7.);
+  checkf "after" 1e6 (Nic.rate_at nic 12.)
+
+let test_nic_breakpoint_order () =
+  let nic = Nic.create ~bits_per_sec:1e6 () in
+  Nic.set_rate nic ~from:10. ~bits_per_sec:2e6;
+  Alcotest.check_raises "out of order"
+    (Invalid_argument "Nic.set_rate: breakpoints must be appended in time order")
+    (fun () -> Nic.set_rate nic ~from:5. ~bits_per_sec:1e6)
+
+(* --- Stats --------------------------------------------------------------- *)
+
+let test_stats () =
+  let s = Stats.create ~n:3 in
+  Stats.record_sent s ~node:0 ~bytes:100 ~label:"vote" ();
+  Stats.record_sent s ~node:0 ~bytes:50 ~label:"vote" ();
+  Stats.record_sent s ~node:1 ~bytes:10 ();
+  Stats.record_received s ~node:2 ~bytes:100;
+  checki "bytes sent" 150 (Stats.bytes_sent s 0);
+  checki "messages" 2 (Stats.messages_sent s 0);
+  checki "total" 160 (Stats.total_bytes_sent s);
+  checki "label" 150 (Stats.label_bytes s "vote");
+  checki "unknown label" 0 (Stats.label_bytes s "nope");
+  checki "received" 100 (Stats.bytes_received s 2);
+  Stats.reset s;
+  checki "after reset" 0 (Stats.total_bytes_sent s)
+
+(* --- Trace --------------------------------------------------------------- *)
+
+let test_trace () =
+  let t = Trace.create () in
+  Trace.log t ~time:0.011 ~node:3 Trace.Notice "hello";
+  Trace.logf t ~time:1. Trace.Warn "count %d" 7;
+  Alcotest.(check int) "records" 2 (List.length (Trace.records t));
+  Alcotest.(check int) "node filter" 1 (List.length (Trace.for_node t 3));
+  Alcotest.(check string) "render" "Jan 01 01:00:00.011 [notice] hello"
+    (Trace.render (List.hd (Trace.records t)));
+  let contains ~needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "dump contains warn" true (contains ~needle:"[warn] count 7" (Trace.dump t))
+
+(* --- Topology ---------------------------------------------------------------- *)
+
+let test_topology () =
+  let t = Topology.uniform ~n:4 ~latency:0.05 in
+  checkf "uniform" 0.05 (Topology.latency t ~src:0 ~dst:3);
+  checkf "self" 0. (Topology.latency t ~src:2 ~dst:2);
+  let rng = Rng.create 5L in
+  let r = Topology.realistic ~n:9 ~rng in
+  for i = 0 to 8 do
+    for j = 0 to 8 do
+      let l = Topology.latency r ~src:i ~dst:j in
+      checkb "symmetric" true (l = Topology.latency r ~src:j ~dst:i);
+      if i <> j then checkb "in range" true (l >= 0.005 && l <= 0.150)
+    done
+  done;
+  Alcotest.check_raises "bad matrix" (Invalid_argument "Topology.of_matrix: not square")
+    (fun () -> ignore (Topology.of_matrix [| [| 0. |]; [| 0.; 0. |] |]))
+
+(* --- Net ---------------------------------------------------------------- *)
+
+let make_net ?(n = 3) ?(bits_per_sec = 1e9) ?(latency = 0.01) () =
+  let engine = Engine.create () in
+  let topology = Topology.uniform ~n ~latency in
+  let net = Net.create ~engine ~topology ~bits_per_sec () in
+  (engine, net)
+
+let test_net_delivery_time () =
+  let engine, net = make_net ~bits_per_sec:1e6 ~latency:0.5 () in
+  let arrived = ref [] in
+  Net.set_handler net (fun ~dst ~src msg -> arrived := (dst, src, msg, Engine.now engine) :: !arrived);
+  (* 125 kB at 1 Mbit/s: 1 s egress + 0.5 s latency + 1 s ingress. *)
+  Net.send net ~src:0 ~dst:1 ~size:125_000 "m";
+  Engine.run engine;
+  match !arrived with
+  | [ (1, 0, "m", t) ] -> checkf "delivery time" 2.5 t
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_net_deadline_drop () =
+  let engine, net = make_net ~bits_per_sec:1e6 ~latency:0.5 () in
+  let arrived = ref 0 in
+  Net.set_handler net (fun ~dst:_ ~src:_ _ -> incr arrived);
+  Net.send net ~src:0 ~dst:1 ~size:125_000 ~deadline:1. "slow";
+  Net.send net ~src:0 ~dst:1 ~size:100 ~deadline:10. "fast";
+  Engine.run engine;
+  checki "slow dropped, fast delivered" 1 !arrived;
+  checki "dropped counted" 1 (Stats.dropped (Net.stats net))
+
+let test_net_self_send () =
+  let engine, net = make_net () in
+  let got = ref false in
+  Net.set_handler net (fun ~dst ~src _ -> if dst = 0 && src = 0 then got := true);
+  Net.send net ~src:0 ~dst:0 ~size:1_000_000 "self";
+  Engine.run engine;
+  checkb "self-delivery" true !got;
+  checki "no bandwidth charged" 0 (Stats.bytes_sent (Net.stats net) 0)
+
+let test_net_broadcast () =
+  let engine, net = make_net ~n:5 () in
+  let count = ref 0 in
+  Net.set_handler net (fun ~dst:_ ~src:_ _ -> incr count);
+  Net.broadcast net ~src:2 ~size:10 "b";
+  Engine.run engine;
+  checki "n-1 deliveries" 4 !count;
+  checki "n-1 sends" 4 (Stats.messages_sent (Net.stats net) 2)
+
+let test_net_limit_node () =
+  let engine, net = make_net ~bits_per_sec:1e6 ~latency:0. () in
+  Net.limit_node net ~node:1 ~start:0. ~stop:10. ~bits_per_sec:0.;
+  let times = ref [] in
+  Net.set_handler net (fun ~dst:_ ~src:_ _ -> times := Engine.now engine :: !times);
+  (* Receiver offline: ingress stalls until the window lifts. *)
+  Net.send net ~src:0 ~dst:1 ~size:125_000 "m";
+  Engine.run engine;
+  (match !times with
+  | [ t ] -> checkb "delivered after window" true (t >= 10.)
+  | _ -> Alcotest.fail "expected one delivery")
+
+let test_net_determinism () =
+  let run () =
+    let engine, net = make_net ~n:4 ~bits_per_sec:1e6 ~latency:0.02 () in
+    let log = ref [] in
+    Net.set_handler net (fun ~dst ~src msg ->
+        log := (dst, src, msg, Engine.now engine) :: !log;
+        if msg < 3 then Net.broadcast net ~src:dst ~size:(1000 * (msg + 1)) (msg + 1));
+    Net.broadcast net ~src:0 ~size:500 0;
+    Engine.run engine;
+    !log
+  in
+  checkb "identical runs" true (run () = run ())
+
+
+(* --- Summary --------------------------------------------------------------- *)
+
+let test_summary_stats () =
+  checkf "mean" 2. (Summary.mean [ 1.; 2.; 3. ]);
+  checkf "stddev" (sqrt (2. /. 3.)) (Summary.stddev [ 1.; 2.; 3. ]);
+  checkf "median odd" 2. (Summary.median [ 3.; 1.; 2. ]);
+  checkf "p100" 9. (Summary.percentile [ 1.; 9.; 5. ] ~p:100.);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Summary.mean: empty list")
+    (fun () -> ignore (Summary.mean []));
+  Alcotest.check_raises "bad percentile"
+    (Invalid_argument "Summary.percentile: p out of range") (fun () ->
+      ignore (Summary.percentile [ 1. ] ~p:101.))
+
+let test_summary_linear_fit () =
+  let fit = Summary.linear_fit [ (0., 1.); (1., 3.); (2., 5.) ] in
+  checkf "slope" 2. fit.Summary.slope;
+  checkf "intercept" 1. fit.Summary.intercept;
+  checkf "perfect r2" 1. fit.Summary.r_squared
+
+let test_summary_power_law () =
+  (* y = 4 x^3 exactly. *)
+  let points = List.map (fun x -> (x, 4. *. (x ** 3.))) [ 2.; 4.; 8.; 16. ] in
+  let fit = Summary.power_law_fit points in
+  checkb "recovers exponent 3" true (Float.abs (fit.Summary.slope -. 3.) < 1e-9);
+  Alcotest.check_raises "rejects nonpositive"
+    (Invalid_argument "Summary.power_law_fit: coordinates must be positive") (fun () ->
+      ignore (Summary.power_law_fit [ (0., 1.); (1., 2.) ]))
+
+let suite =
+  [
+    ("simtime", `Quick, test_simtime);
+    ("rng determinism", `Quick, test_rng_determinism);
+    ("rng split", `Quick, test_rng_split);
+    QCheck_alcotest.to_alcotest qcheck_rng_bounds;
+    QCheck_alcotest.to_alcotest qcheck_rng_range;
+    ("rng shuffle is a permutation", `Quick, test_rng_shuffle_permutation);
+    ("rng gaussian mean", `Slow, test_rng_gaussian);
+    ("rng errors", `Quick, test_rng_errors);
+    ("event queue ordering", `Quick, test_queue_order);
+    ("event queue FIFO ties", `Quick, test_queue_fifo_ties);
+    ("event queue invalid time", `Quick, test_queue_invalid_time);
+    QCheck_alcotest.to_alcotest qcheck_queue_sorted;
+    ("engine order and clock", `Quick, test_engine_order_and_clock);
+    ("engine cancel", `Quick, test_engine_cancel);
+    ("engine horizon", `Quick, test_engine_horizon);
+    ("engine nested scheduling", `Quick, test_engine_nested_schedule);
+    ("engine rejects past events", `Quick, test_engine_past_raises);
+    ("nic basic rate", `Quick, test_nic_basic_rate);
+    ("nic zero rate forever", `Quick, test_nic_zero_rate_forever);
+    ("nic stalls through offline window", `Quick, test_nic_window_stall);
+    ("nic split across rate change", `Quick, test_nic_window_partial);
+    ("nic window restores rate", `Quick, test_nic_window_restores);
+    ("nic breakpoint ordering", `Quick, test_nic_breakpoint_order);
+    ("stats counters", `Quick, test_stats);
+    ("trace", `Quick, test_trace);
+    ("topology", `Quick, test_topology);
+    ("net delivery time", `Quick, test_net_delivery_time);
+    ("net deadline drop", `Quick, test_net_deadline_drop);
+    ("net self send", `Quick, test_net_self_send);
+    ("net broadcast", `Quick, test_net_broadcast);
+    ("net limit node", `Quick, test_net_limit_node);
+    ("net determinism", `Quick, test_net_determinism);
+    ("summary statistics", `Quick, test_summary_stats);
+    ("summary linear fit", `Quick, test_summary_linear_fit);
+    ("summary power-law fit", `Quick, test_summary_power_law);
+  ]
