@@ -2,10 +2,15 @@
    paper's evaluation (see DESIGN.md §4 for the experiment index), plus
    Bechamel micro-benchmarks of the core operations.
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- fig10   # one target *)
+     dune exec bench/main.exe                      # everything
+     dune exec bench/main.exe -- fig10             # one target
+     dune exec bench/main.exe -- --jobs 4 fig10    # sweep on 4 domains *)
 
 module E = Torpartial.Experiments
+
+(* Worker-domain count for the sweep targets (fig7/fig10/fig11).
+   Outputs are identical for every setting; only wall time changes. *)
+let jobs = ref 1
 
 let header title =
   Printf.printf "\n================ %s ================\n%!" title
@@ -35,14 +40,14 @@ let fig7 () =
     (fun (r, mbit) ->
       Printf.printf "%8d  %22.1f  %.1f\n" r mbit
         (Attack.Ddos.ddos_residual_bits_per_sec /. 1e6))
-    (E.fig7 ());
+    (E.fig7 ~jobs:!jobs ());
   Printf.printf
     "(paper: linear in relay count, ~10 Mbit/s at 8,000 relays; the DDoS\n\
     \ residual of 0.5 Mbit/s is far below the requirement, so the attack wins)\n"
 
 let fig10 () =
   header "Figure 10: latency of consensus generation";
-  let cells = E.fig10 () in
+  let cells = E.fig10 ~jobs:!jobs () in
   let bandwidths = E.default_bandwidths in
   let relay_counts = E.default_relay_counts in
   List.iter
@@ -83,7 +88,7 @@ let fig11 () =
       | Some _ -> Printf.printf "  (failed run + 30-minute fallback rerun)"
       | None -> ());
       print_newline ())
-    (E.fig11 ());
+    (E.fig11 ~jobs:!jobs ());
   Printf.printf "(paper: ours ~10 s after the attack ends; baselines 2100 s)\n"
 
 (* --- tables ------------------------------------------------------------- *)
@@ -297,10 +302,27 @@ let targets =
     ("micro", micro);
   ]
 
+let rec parse_args = function
+  | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+          jobs := n;
+          parse_args rest
+      | Some 0 ->
+          jobs := Exec.Pool.default_jobs ();
+          parse_args rest
+      | Some _ | None ->
+          Printf.eprintf "bad --jobs value %S (expected an integer >= 0)\n" n;
+          exit 1)
+  | "--jobs" :: [] ->
+      prerr_endline "--jobs requires a value";
+      exit 1
+  | names -> names
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] -> List.iter (fun (_, f) -> f ()) targets
-  | _ :: names ->
+  match parse_args (List.tl (Array.to_list Sys.argv)) with
+  | [] -> List.iter (fun (_, f) -> f ()) targets
+  | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name targets with
@@ -310,4 +332,3 @@ let () =
                 (String.concat ", " (List.map fst targets));
               exit 1)
         names
-  | [] -> assert false

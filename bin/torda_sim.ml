@@ -10,17 +10,19 @@ module E = Torpartial.Experiments
 
 (* --- shared arguments ------------------------------------------------------ *)
 
-let protocol_arg =
-  let parse = function
-    | "current" -> Ok E.Current
-    | "synchronous" | "sync" -> Ok E.Synchronous
-    | "ours" | "partial" -> Ok E.Ours
-    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+let protocol_conv =
+  let parse s =
+    match Exec.Job.protocol_of_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
   in
   let print ppf p = Format.pp_print_string ppf (E.protocol_name p) in
+  Arg.conv (parse, print)
+
+let protocol_arg =
   Arg.(
     value
-    & opt (conv (parse, print)) E.Ours
+    & opt protocol_conv E.Ours
     & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
         ~doc:"Protocol to simulate: $(b,current), $(b,synchronous), or $(b,ours).")
 
@@ -80,7 +82,7 @@ let make_env ~seed ~relays ~bandwidth ~attack =
 let run_cmd =
   let action protocol relays bandwidth seed attack =
     let env = make_env ~seed ~relays ~bandwidth ~attack in
-    let result = E.run_protocol protocol env in
+    let result = E.run protocol env in
     Printf.printf "protocol:  %s\n" result.R.protocol;
     Printf.printf "relays:    %d\n" relays;
     Printf.printf "bandwidth: %.1f Mbit/s\n" bandwidth;
@@ -108,7 +110,7 @@ let log_cmd =
   in
   let action protocol relays bandwidth seed attack node =
     let env = make_env ~seed ~relays ~bandwidth ~attack in
-    let result = E.run_protocol protocol env in
+    let result = E.run protocol env in
     print_endline (Tor_sim.Trace.dump ~node result.R.trace);
     0
   in
@@ -138,6 +140,94 @@ let cost_cmd =
   in
   let term = Term.(const action $ relays_arg $ required_arg) in
   Cmd.v (Cmd.info "cost" ~doc:"Price the DDoS attack for a given network size.") term
+
+(* --- sweep ----------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains executing the sweep: $(b,1) runs sequentially, \
+             $(b,0) uses one domain per core.  Results are identical for \
+             every setting.")
+  in
+  let protocols_arg =
+    Arg.(
+      value
+      & opt (list protocol_conv) [ E.Current; E.Synchronous; E.Ours ]
+      & info [ "protocols" ] ~docv:"LIST"
+          ~doc:"Comma-separated protocols to sweep (default: all three).")
+  in
+  let bandwidths_arg =
+    Arg.(
+      value
+      & opt (list float) E.default_bandwidths
+      & info [ "bandwidths" ] ~docv:"LIST"
+          ~doc:"Comma-separated authority bandwidths in Mbit/s.")
+  in
+  let relays_arg =
+    Arg.(
+      value
+      & opt (list int) E.default_relay_counts
+      & info [ "relay-counts" ] ~docv:"LIST"
+          ~doc:"Comma-separated relay counts.")
+  in
+  let sweep_seed_arg =
+    Arg.(
+      value
+      & opt string E.default_seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Simulation seed (default $(b,torpartial), the experiments' seed, \
+             whose shared vote populations are cached).")
+  in
+  let action jobs protocols bandwidths relay_counts seed =
+    if jobs < 0 then begin
+      prerr_endline "sweep: --jobs must be >= 0";
+      2
+    end
+    else begin
+      let jobs = if jobs = 0 then Exec.Pool.default_jobs () else jobs in
+      let base = { R.Spec.default with R.Spec.seed } in
+      let sweep =
+        Exec.Sweep.make ~protocols ~bandwidths_mbit:bandwidths ~relay_counts ~base ()
+      in
+      let cells = Exec.Sweep.cells sweep in
+      let started = Unix.gettimeofday () in
+      let outcomes =
+        E.run_jobs ~jobs (List.map (fun c -> c.Exec.Sweep.job) cells)
+      in
+      let elapsed = Unix.gettimeofday () -. started in
+      Printf.printf "%-12s %10s %8s %10s\n" "protocol" "mbit/s" "relays" "latency";
+      List.iter2
+        (fun (c : Exec.Sweep.cell) (o : Exec.Job.outcome) ->
+          Printf.printf "%-12s %10.1f %8d %10s\n"
+            (E.protocol_name c.Exec.Sweep.protocol)
+            c.Exec.Sweep.bandwidth_mbit c.Exec.Sweep.n_relays
+            (match (o.Exec.Job.success, o.Exec.Job.success_latency) with
+            | true, Some t -> Printf.sprintf "%.1f s" t
+            | true, None | false, _ -> "fail"))
+        cells outcomes;
+      Printf.eprintf "sweep: %d cells on %d domain(s) in %.1f s\n%!"
+        (List.length cells) jobs elapsed;
+      0
+    end
+  in
+  let term =
+    Term.(
+      const action $ jobs_arg $ protocols_arg $ bandwidths_arg $ relays_arg
+      $ sweep_seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a protocol x bandwidth x relay-count grid (Figure 10 style) on a \
+          parallel domain pool.  Cell order and values are independent of \
+          $(b,--jobs); timing goes to stderr so stdout is byte-comparable.")
+    term
 
 (* --- scenario ------------------------------------------------------------- *)
 
@@ -190,4 +280,4 @@ let scenario_cmd =
 let () =
   let doc = "Tor directory protocol simulator (EUROSYS '26 reproduction)" in
   let info = Cmd.info "torda-sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; log_cmd; cost_cmd; scenario_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; log_cmd; cost_cmd; sweep_cmd; scenario_cmd ]))

@@ -1,17 +1,20 @@
 module Runenv = Protocols.Runenv
 module Rng = Tor_sim.Rng
+module Job = Exec.Job
 
-type protocol = Current | Synchronous | Ours
+type protocol = Exec.Job.protocol = Current | Synchronous | Ours
 
-let protocol_name = function
-  | Current -> "current"
-  | Synchronous -> "synchronous"
-  | Ours -> "ours"
+let protocol_name = Exec.Job.protocol_name
 
-let run_protocol = function
+(* The one execution path shared by the CLI, scenario files, the
+   benches, and the sweep pool: every simulation of a named protocol
+   goes through here. *)
+let run = function
   | Current -> Protocols.Current_v3.run
   | Synchronous -> Protocols.Sync_ic.run
   | Ours -> fun env -> Protocol.run env
+
+let run_protocol = run
 
 let default_seed = "torpartial"
 
@@ -19,20 +22,47 @@ let all_protocols = [ Current; Synchronous; Ours ]
 
 (* Reuse one vote population per relay count across protocol and
    bandwidth sweeps: vote generation dominates setup cost, and sharing
-   it also makes cross-protocol comparisons exact. *)
-let votes_cache : (int, Dirdoc.Vote.t array) Hashtbl.t = Hashtbl.create 16
+   it also makes cross-protocol comparisons exact.  The generated
+   votes depend only on (seed, n, n_relays, valid_after, divergence),
+   all at their defaults here, so the cache never changes results —
+   and it is domain-safe, so parallel sweep workers share it too. *)
+let votes_cache : Dirdoc.Vote.t array Exec.Cache.t = Exec.Cache.create ()
 
 let votes_for ~n_relays =
-  match Hashtbl.find_opt votes_cache n_relays with
-  | Some votes -> votes
-  | None ->
-      let votes = (Runenv.make ~seed:default_seed ~n_relays ()).Runenv.votes in
-      Hashtbl.add votes_cache n_relays votes;
-      votes
+  Exec.Cache.find_or_compute votes_cache ~key:(string_of_int n_relays) (fun () ->
+      (Runenv.of_spec { Runenv.Spec.default with n_relays }).Runenv.votes)
+
+let spec ?(attacks = []) ?(bandwidth_bits_per_sec = 250e6) ?(horizon = 7200.)
+    ~n_relays () =
+  { Runenv.Spec.default with n_relays; attacks; bandwidth_bits_per_sec; horizon }
+
+let env_of_spec (s : Runenv.Spec.t) =
+  (* The cache is keyed by relay count alone, so it only applies when
+     every other vote-relevant field is at its default (always true
+     for the figure sweeps; a custom-seed CLI sweep regenerates). *)
+  let d = Runenv.Spec.default in
+  if
+    s.Runenv.Spec.seed = d.Runenv.Spec.seed
+    && s.Runenv.Spec.n = d.Runenv.Spec.n
+    && s.Runenv.Spec.valid_after = d.Runenv.Spec.valid_after
+    && s.Runenv.Spec.divergence = d.Runenv.Spec.divergence
+  then Runenv.of_spec ~votes:(votes_for ~n_relays:s.Runenv.Spec.n_relays) s
+  else Runenv.of_spec s
 
 let env ?attacks ?bandwidth_bits_per_sec ?horizon ~n_relays () =
-  Runenv.make ~seed:default_seed ~n_relays ~votes:(votes_for ~n_relays) ?attacks
-    ?bandwidth_bits_per_sec ?horizon ()
+  env_of_spec (spec ?attacks ?bandwidth_bits_per_sec ?horizon ~n_relays ())
+
+(* Sweep execution: results memoized by job key (protocol + spec
+   digest), so a cell that reappears — across figures, or because
+   fig7's binary search re-probes a bandwidth — is simulated once. *)
+let results_cache : Job.outcome Exec.Cache.t = Exec.Cache.create ()
+
+let run_job (job : Job.t) =
+  Exec.Cache.find_or_compute results_cache ~key:(Job.key job) (fun () ->
+      let e = env_of_spec job.Job.spec in
+      Job.outcome job e (run job.Job.protocol e))
+
+let run_jobs ?(jobs = 1) job_list = Exec.Pool.map ~jobs run_job job_list
 
 (* --- Figure 1 ----------------------------------------------------------- *)
 
@@ -55,12 +85,14 @@ let fig6 () =
 let default_relay_counts = [ 1000; 2000; 3000; 4000; 5000; 6000; 7000; 8000; 9000; 10000 ]
 
 let min_bandwidth_for_success ~n_relays ~precision =
+  (* Each probe is one job; the result cache keys probes by spec
+     digest, so a re-probed bandwidth is never simulated twice. *)
   let ok mbit =
     let attacks =
       Attack.Ddos.bandwidth_attack ~n:9 ~residual_bits_per_sec:(mbit *. 1e6) ()
     in
-    let e = env ~attacks ~n_relays () in
-    Runenv.success e (Protocols.Current_v3.run e)
+    let job = { Job.protocol = Current; spec = spec ~attacks ~n_relays () } in
+    (run_job job).Job.success
   in
   let rec search lo hi =
     if hi -. lo < precision then hi
@@ -70,8 +102,10 @@ let min_bandwidth_for_success ~n_relays ~precision =
   in
   if ok 0.05 then 0.05 else search 0.05 100.
 
-let fig7 ?(relay_counts = default_relay_counts) ?(precision_mbit = 0.1) () =
-  List.map
+let fig7 ?(relay_counts = default_relay_counts) ?(precision_mbit = 0.1) ?(jobs = 1) () =
+  (* The binary searches are sequential per relay count but
+     independent across counts, so that is the parallel axis. *)
+  Exec.Pool.map ~jobs
     (fun n_relays ->
       (n_relays, min_bandwidth_for_success ~n_relays ~precision:precision_mbit))
     relay_counts
@@ -87,26 +121,22 @@ type fig10_cell = {
 
 let default_bandwidths = [ 50.; 20.; 10.; 1.; 0.5 ]
 
+let fig10_sweep ~bandwidths_mbit ~relay_counts =
+  Exec.Sweep.make ~protocols:all_protocols ~bandwidths_mbit ~relay_counts ()
+
 let fig10 ?(bandwidths_mbit = default_bandwidths) ?(relay_counts = default_relay_counts)
-    () =
-  List.concat_map
-    (fun protocol ->
-      List.concat_map
-        (fun bandwidth_mbit ->
-          List.map
-            (fun n_relays ->
-              let e =
-                env ~bandwidth_bits_per_sec:(bandwidth_mbit *. 1e6) ~horizon:7200.
-                  ~n_relays ()
-              in
-              let result = run_protocol protocol e in
-              let latency =
-                if Runenv.success e result then Runenv.success_latency result else None
-              in
-              { protocol; bandwidth_mbit; n_relays; latency })
-            relay_counts)
-        bandwidths_mbit)
-    all_protocols
+    ?(jobs = 1) () =
+  let cells = Exec.Sweep.cells (fig10_sweep ~bandwidths_mbit ~relay_counts) in
+  let outcomes = run_jobs ~jobs (List.map (fun c -> c.Exec.Sweep.job) cells) in
+  List.map2
+    (fun (c : Exec.Sweep.cell) (o : Job.outcome) ->
+      {
+        protocol = c.protocol;
+        bandwidth_mbit = c.bandwidth_mbit;
+        n_relays = c.n_relays;
+        latency = (if o.Job.success then o.Job.success_latency else None);
+      })
+    cells outcomes
 
 (* --- Figure 11 ----------------------------------------------------------- *)
 
@@ -116,21 +146,21 @@ type fig11_row = { protocol : protocol; total_latency : float option }
    the 5-minute attack, plus the 10-minute protocol (paper §6.2). *)
 let baseline_fallback_seconds = 2100.
 
-let fig11 ?(n_relays = 8000) () =
+let fig11 ?(n_relays = 8000) ?(jobs = 1) () =
   let attacks = Attack.Ddos.knockout ~n:9 () in
-  List.map
-    (fun protocol ->
-      let e = env ~attacks ~n_relays () in
-      let result = run_protocol protocol e in
+  let job_of protocol = { Job.protocol; spec = spec ~attacks ~n_relays () } in
+  let outcomes = run_jobs ~jobs (List.map job_of all_protocols) in
+  List.map2
+    (fun protocol (o : Job.outcome) ->
       let total_latency =
-        if Runenv.success e result then Runenv.decided_at_latest result
+        if o.Job.success then o.Job.decided_at_latest
         else
           match protocol with
           | Current | Synchronous -> Some baseline_fallback_seconds
           | Ours -> None
       in
       { protocol; total_latency })
-    all_protocols
+    all_protocols outcomes
 
 (* --- Table 1 ------------------------------------------------------------- *)
 
@@ -144,7 +174,7 @@ type table1_row = {
 
 let table1_row protocol ~n ~n_relays =
   let e = Runenv.make ~seed:default_seed ~n ~n_relays ~horizon:7200. () in
-  let result = run_protocol protocol e in
+  let result = run protocol e in
   let stats = result.Runenv.stats in
   {
     protocol;

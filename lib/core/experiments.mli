@@ -4,11 +4,31 @@
     property tests reuse the same entry points.  DESIGN.md §4 maps
     each experiment to its paper counterpart. *)
 
-type protocol = Current | Synchronous | Ours
+type protocol = Exec.Job.protocol = Current | Synchronous | Ours
+(** Re-export of {!Exec.Job.protocol}, so experiment code and the
+    sweep engine share one protocol enum. *)
 
 val protocol_name : protocol -> string
 
+val run : protocol -> Protocols.Runenv.t -> Protocols.Runenv.run_result
+(** The single execution path: the CLI, scenario files, the benches,
+    and the sweep pool all run simulations through here. *)
+
 val run_protocol : protocol -> Protocols.Runenv.t -> Protocols.Runenv.run_result
+(** Deprecated alias of {!run}, kept for existing callers. *)
+
+val run_job : Exec.Job.t -> Exec.Job.outcome
+(** Execute one sweep job through {!run}, memoized on
+    {!Exec.Job.key}: a job whose key was already executed (this call
+    or any earlier one, on any domain) returns the cached outcome
+    without simulating. *)
+
+val run_jobs : ?jobs:int -> Exec.Job.t list -> Exec.Job.outcome list
+(** [run_jobs ~jobs l] maps {!run_job} over [l] on an [jobs]-domain
+    {!Exec.Pool} (default 1 = sequential), preserving order.  Results
+    are byte-identical for every [jobs] value: each job rebuilds its
+    environment from its own spec, and outcomes are reassembled in
+    input order. *)
 
 val default_seed : string
 (** Seed used by every experiment ("torpartial"); change it to check
@@ -36,10 +56,16 @@ val fig6 : unit -> (string * float) list * float
 (** {1 Figure 7 — bandwidth requirement} *)
 
 val fig7 :
-  ?relay_counts:int list -> ?precision_mbit:float -> unit -> (int * float) list
+  ?relay_counts:int list ->
+  ?precision_mbit:float ->
+  ?jobs:int ->
+  unit ->
+  (int * float) list
 (** For each relay count, binary-search the minimum bandwidth
     (Mbit/s) the 5 attacked authorities need for the current protocol
-    to still succeed.  Default counts: 1000-10000 in steps of 1000. *)
+    to still succeed.  Default counts: 1000-10000 in steps of 1000.
+    [jobs] parallelizes across relay counts; each search's probes are
+    cached by spec digest, so re-probed bandwidths cost nothing. *)
 
 (** {1 Figure 10 — latency under bandwidth constraints} *)
 
@@ -51,16 +77,22 @@ type fig10_cell = {
 }
 
 val fig10 :
-  ?bandwidths_mbit:float list -> ?relay_counts:int list -> unit -> fig10_cell list
+  ?bandwidths_mbit:float list ->
+  ?relay_counts:int list ->
+  ?jobs:int ->
+  unit ->
+  fig10_cell list
 (** The full grid of Figure 10: all three protocols at every
     bandwidth x relay-count combination (defaults: 50, 20, 10, 1,
-    0.5 Mbit/s x 1000-10000). *)
+    0.5 Mbit/s x 1000-10000 — 150 independent cells).  The grid is
+    compiled to an {!Exec.Sweep} job list and executed on [jobs]
+    domains; cell order and values are identical for every [jobs]. *)
 
 (** {1 Figure 11 — recovery from a 5-minute knockout} *)
 
 type fig11_row = { protocol : protocol; total_latency : float option }
 
-val fig11 : ?n_relays:int -> unit -> fig11_row list
+val fig11 : ?n_relays:int -> ?jobs:int -> unit -> fig11_row list
 (** 5 authorities fully offline for the first 300 s, 250 Mbit/s
     otherwise.  For the lock-step baselines the run fails and the
     fallback applies: 2100 s (25 min wait for the next scheduled run

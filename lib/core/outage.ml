@@ -62,7 +62,7 @@ let run ?(hours = 12) ?(n_relays = 2000) ~protocol ~policy () =
         (* The runs use the shared outage keyring so one client can
            verify every hour's signatures. *)
         let env = { env with Runenv.keyring } in
-        let result = Experiments.run_protocol protocol env in
+        let result = Experiments.run protocol env in
         let produced = Runenv.success env result in
         (if produced then
            match signed_consensus_of_run keyring ~n result with

@@ -135,7 +135,7 @@ let parse text =
   | env -> Ok { protocol = draft.protocol; env }
   | exception Invalid_argument e -> Error e
 
-let run (t : t) = Experiments.run_protocol t.protocol t.env
+let run (t : t) = Experiments.run t.protocol t.env
 
 let default_text =
   "# The paper's Figure 1 scenario: the deployed protocol, the live\n\

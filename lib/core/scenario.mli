@@ -31,7 +31,9 @@ val parse : string -> (t, string) result
     content. *)
 
 val run : t -> Protocols.Runenv.run_result
-(** Execute the scenario's protocol on its environment. *)
+(** Execute the scenario's protocol on its environment via
+    {!Experiments.run}, the same path the CLI, benches, and sweep
+    pool use. *)
 
 val default_text : string
 (** A commented example scenario (the Figure 1 attack), used by the

@@ -1,0 +1,61 @@
+type 'v state = Computing | Done of 'v
+
+type 'v t = {
+  mutex : Mutex.t;
+  done_ : Condition.t;
+  table : (string, 'v state) Hashtbl.t;
+}
+
+let create ?(size = 64) () =
+  { mutex = Mutex.create (); done_ = Condition.create (); table = Hashtbl.create size }
+
+let rec find_or_compute t ~key f =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table key with
+  | Some (Done v) ->
+      Mutex.unlock t.mutex;
+      v
+  | Some Computing ->
+      (* Another domain is computing this key: wait for it to finish
+         (or fail) rather than duplicating the work. *)
+      Condition.wait t.done_ t.mutex;
+      Mutex.unlock t.mutex;
+      find_or_compute t ~key f
+  | None -> (
+      Hashtbl.replace t.table key Computing;
+      Mutex.unlock t.mutex;
+      match f () with
+      | v ->
+          Mutex.lock t.mutex;
+          Hashtbl.replace t.table key (Done v);
+          Condition.broadcast t.done_;
+          Mutex.unlock t.mutex;
+          v
+      | exception e ->
+          (* Failed computations are not cached; unblock waiters so
+             one of them retries. *)
+          Mutex.lock t.mutex;
+          Hashtbl.remove t.table key;
+          Condition.broadcast t.done_;
+          Mutex.unlock t.mutex;
+          raise e)
+
+let find_opt t key =
+  Mutex.lock t.mutex;
+  let r =
+    match Hashtbl.find_opt t.table key with
+    | Some (Done v) -> Some v
+    | Some Computing | None -> None
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let length t =
+  Mutex.lock t.mutex;
+  let n =
+    Hashtbl.fold
+      (fun _ state acc -> match state with Done _ -> acc + 1 | Computing -> acc)
+      t.table 0
+  in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,37 @@
+module Runenv = Protocols.Runenv
+
+type protocol = Current | Synchronous | Ours
+
+let protocol_name = function
+  | Current -> "current"
+  | Synchronous -> "synchronous"
+  | Ours -> "ours"
+
+let protocol_of_name = function
+  | "current" -> Some Current
+  | "synchronous" | "sync" -> Some Synchronous
+  | "ours" | "partial" -> Some Ours
+  | _ -> None
+
+type t = { protocol : protocol; spec : Runenv.Spec.t }
+
+let key t = protocol_name t.protocol ^ ":" ^ Runenv.Spec.digest t.spec
+
+let rng t = Tor_sim.Rng.of_string_seed (key t)
+
+type outcome = {
+  key : string;
+  success : bool;
+  success_latency : float option;
+  decided_at_latest : float option;
+  total_bytes : int;
+}
+
+let outcome job env (result : Runenv.run_result) =
+  {
+    key = key job;
+    success = Runenv.success env result;
+    success_latency = Runenv.success_latency result;
+    decided_at_latest = Runenv.decided_at_latest result;
+    total_bytes = Tor_sim.Stats.total_bytes_sent result.Runenv.stats;
+  }

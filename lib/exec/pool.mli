@@ -1,0 +1,25 @@
+(** Bounded-queue domain pool.
+
+    [map ~jobs f items] applies [f] to every item across [jobs]
+    OCaml 5 domains and returns the results in input order, so the
+    output is independent of worker count and scheduling.  [jobs = 1]
+    is a strict sequential fallback ([List.map] — no domains are
+    spawned); at most [List.length items] domains are spawned however
+    large [jobs] is.
+
+    If any [f item] raises, the remaining items still run, and the
+    exception of the {e lowest-index} failing item is re-raised (with
+    its backtrace) after all workers have drained — deterministic
+    error reporting under parallelism.
+
+    [f] must be safe to call from multiple domains at once: jobs that
+    only touch their own state (as every simulation job here does —
+    each builds its environment from its own spec) qualify; shared
+    caches must be domain-safe like {!Cache}. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Raises [Invalid_argument] when [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--jobs 0] style
+    "auto" settings should use. *)

@@ -26,16 +26,94 @@ let default_valid_after =
   | Ok t -> t
   | Error _ -> assert false
 
-let make ?(seed = "torpartial") ?(valid_after = default_valid_after) ?(n = 9)
-    ?(n_relays = 1000) ?(bandwidth_bits_per_sec = 250e6) ?(attacks = []) ?behaviors
-    ?divergence ?(horizon = 7200.) ?votes () =
+module Spec = struct
+  type runenv_attack = attack
+
+  type t = {
+    seed : string;
+    valid_after : float;
+    n : int;
+    n_relays : int;
+    bandwidth_bits_per_sec : float;
+    attacks : runenv_attack list;
+    behaviors : behavior array option;
+    divergence : Dirdoc.Workload.divergence option;
+    horizon : Sim.Simtime.t;
+  }
+
+  let default =
+    {
+      seed = "torpartial";
+      valid_after = default_valid_after;
+      n = 9;
+      n_relays = 1000;
+      bandwidth_bits_per_sec = 250e6;
+      attacks = [];
+      behaviors = None;
+      divergence = None;
+      horizon = 7200.;
+    }
+
+  (* Canonical serialization for job keying.  Floats are printed with
+     %h (hex, lossless) so equal specs always serialize identically
+     and nothing depends on printf rounding. *)
+  let canonical t =
+    let buf = Buffer.create 256 in
+    let f x = Buffer.add_string buf (Printf.sprintf "%h;" x) in
+    let s x =
+      Buffer.add_string buf (string_of_int (String.length x));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf x;
+      Buffer.add_char buf ';'
+    in
+    let i x = Buffer.add_string buf (Printf.sprintf "%d;" x) in
+    s t.seed;
+    f t.valid_after;
+    i t.n;
+    i t.n_relays;
+    f t.bandwidth_bits_per_sec;
+    i (List.length t.attacks);
+    List.iter
+      (fun a ->
+        i a.node;
+        f a.start;
+        f a.stop;
+        f a.bits_per_sec)
+      t.attacks;
+    (match t.behaviors with
+    | None -> Buffer.add_string buf "default;"
+    | Some b ->
+        Array.iter
+          (fun v ->
+            Buffer.add_char buf
+              (match v with Honest -> 'h' | Silent -> 's' | Equivocating -> 'e'))
+          b;
+        Buffer.add_char buf ';');
+    (match t.divergence with
+    | None -> Buffer.add_string buf "default;"
+    | Some d ->
+        f d.Dirdoc.Workload.missing_prob;
+        f d.Dirdoc.Workload.bw_jitter;
+        f d.Dirdoc.Workload.flag_flip_prob;
+        f d.Dirdoc.Workload.unmeasured_prob);
+    f t.horizon;
+    Buffer.contents buf
+
+  let digest t = Crypto.Digest32.hex (Crypto.Digest32.of_string (canonical t))
+
+  let rng t = Sim.Rng.of_string_seed (digest t)
+end
+
+let of_spec ?votes (spec : Spec.t) =
+  let { Spec.seed; valid_after; n; n_relays; bandwidth_bits_per_sec; attacks;
+        behaviors; divergence; horizon } = spec in
   let keyring = Crypto.Keyring.create ~seed ~n () in
   let rng = Sim.Rng.of_string_seed seed in
   let topology = Sim.Topology.realistic ~n ~rng:(Sim.Rng.split rng) in
   let votes =
     match votes with
     | Some v ->
-        if Array.length v <> n then invalid_arg "Runenv.make: votes length mismatch";
+        if Array.length v <> n then invalid_arg "Runenv.of_spec: votes length mismatch";
         v
     | None ->
         Dirdoc.Workload.votes ~rng ?divergence ~keyring ~n_authorities:n ~n_relays
@@ -44,15 +122,17 @@ let make ?(seed = "torpartial") ?(valid_after = default_valid_after) ?(n = 9)
   let behaviors =
     match behaviors with
     | Some b ->
-        if Array.length b <> n then invalid_arg "Runenv.make: behaviors length mismatch";
+        if Array.length b <> n then
+          invalid_arg "Runenv.of_spec: behaviors length mismatch";
         b
     | None -> Array.make n Honest
   in
   List.iter
     (fun a ->
-      if a.node < 0 || a.node >= n then invalid_arg "Runenv.make: attack node out of range";
-      if a.stop < a.start then invalid_arg "Runenv.make: attack stops before it starts";
-      if a.bits_per_sec < 0. then invalid_arg "Runenv.make: negative residual bandwidth")
+      if a.node < 0 || a.node >= n then
+        invalid_arg "Runenv.of_spec: attack node out of range";
+      if a.stop < a.start then invalid_arg "Runenv.of_spec: attack stops before it starts";
+      if a.bits_per_sec < 0. then invalid_arg "Runenv.of_spec: negative residual bandwidth")
     attacks;
   {
     n;
@@ -65,6 +145,22 @@ let make ?(seed = "torpartial") ?(valid_after = default_valid_after) ?(n = 9)
     behaviors;
     horizon;
   }
+
+let make ?(seed = "torpartial") ?(valid_after = default_valid_after) ?(n = 9)
+    ?(n_relays = 1000) ?(bandwidth_bits_per_sec = 250e6) ?(attacks = []) ?behaviors
+    ?divergence ?(horizon = 7200.) ?votes () =
+  of_spec ?votes
+    {
+      Spec.seed;
+      valid_after;
+      n;
+      n_relays;
+      bandwidth_bits_per_sec;
+      attacks;
+      behaviors;
+      divergence;
+      horizon;
+    }
 
 type authority_result = {
   consensus : Dirdoc.Consensus.t option;

@@ -29,6 +29,52 @@ type t = {
   horizon : Tor_sim.Simtime.t;       (** stop simulating at this time *)
 }
 
+(** Declarative run specification: the serializable description of an
+    environment.  A [Spec.t] carries everything [of_spec] needs to
+    rebuild a [t] deterministically, so a spec (or its digest) fully
+    identifies a simulation — the sweep engine keys its job cache and
+    per-job RNG streams on {!Spec.digest}. *)
+module Spec : sig
+  type t = {
+    seed : string;
+    valid_after : float;
+    n : int;                          (** number of authorities *)
+    n_relays : int;
+    bandwidth_bits_per_sec : float;
+    attacks : attack list;
+    behaviors : behavior array option; (** [None] = all honest *)
+    divergence : Dirdoc.Workload.divergence option;
+    horizon : Tor_sim.Simtime.t;
+  }
+
+  val default : t
+  (** 9 honest authorities, 1000 relays, 250 Mbit/s, no attacks, seed
+      ["torpartial"], horizon 7200 s. *)
+
+  val canonical : t -> string
+  (** Canonical serialization (stable across processes and OCaml
+      versions; floats rendered losslessly). *)
+
+  val digest : t -> string
+  (** SHA-256 of {!canonical} as 64 hex characters.  Structurally
+      equal specs always digest identically; any field change changes
+      the digest.  This is the job key of the sweep engine. *)
+
+  val rng : t -> Tor_sim.Rng.t
+  (** A deterministic per-spec RNG seeded from {!digest}, for
+      job-level auxiliary randomness that must not depend on worker
+      count or scheduling order. *)
+end
+
+val of_spec : ?votes:Dirdoc.Vote.t array -> Spec.t -> t
+(** Build an environment from a spec: realistic latencies, votes
+    generated from the seeded workload (pass [votes] to reuse a
+    population across configurations — the generated votes depend
+    only on [seed], [n], [n_relays], [valid_after], and
+    [divergence], so a cached population is exactly what would have
+    been generated).  Raises [Invalid_argument] on inconsistent
+    array lengths or malformed attack windows. *)
+
 val make :
   ?seed:string ->
   ?valid_after:float ->
@@ -42,12 +88,10 @@ val make :
   ?votes:Dirdoc.Vote.t array ->
   unit ->
   t
-(** Build an environment: 9 authorities at 250 Mbit/s with realistic
-    latencies by default, votes generated from a seeded workload
-    (pass [votes] to reuse a population across configurations), and
-    the consensus hour anchored at [valid_after] (default
-    {!default_valid_after}).  Raises [Invalid_argument] on
-    inconsistent array lengths. *)
+(** Deprecated shim over {!of_spec}: builds a {!Spec.t} from the
+    optional arguments and delegates.  Prefer constructing a
+    [Spec.t] (e.g. [{ Spec.default with n_relays = 8000 }]) and
+    calling {!of_spec}; new code should not add [make] call sites. *)
 
 (** Outcome of one authority at the end of a run. *)
 type authority_result = {

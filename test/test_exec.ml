@@ -1,0 +1,197 @@
+(* Tests for the parallel sweep engine: Spec digest stability, the
+   bounded-queue domain pool, the domain-safe result cache, sweep
+   compilation, and jobs=1 vs jobs=4 determinism over a Figure 10
+   sub-grid. *)
+
+module R = Protocols.Runenv
+module E = Torpartial.Experiments
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- Spec digests ----------------------------------------------------------- *)
+
+let test_spec_digest_stability () =
+  let d1 = R.Spec.digest R.Spec.default in
+  let d2 = R.Spec.digest { R.Spec.default with R.Spec.n_relays = 1000 } in
+  checki "64 hex chars" 64 (String.length d1);
+  Alcotest.(check string) "structurally equal specs digest equally" d1 d2;
+  let variants =
+    [
+      { R.Spec.default with R.Spec.seed = "other" };
+      { R.Spec.default with R.Spec.n_relays = 1001 };
+      { R.Spec.default with R.Spec.bandwidth_bits_per_sec = 10e6 };
+      { R.Spec.default with R.Spec.horizon = 3600. };
+      { R.Spec.default with R.Spec.attacks = Attack.Ddos.knockout ~n:9 () };
+      { R.Spec.default with R.Spec.behaviors = Some (Array.make 9 R.Silent) };
+      {
+        R.Spec.default with
+        R.Spec.divergence = Some Dirdoc.Workload.default_divergence;
+      };
+    ]
+  in
+  List.iteri
+    (fun i s ->
+      checkb
+        (Printf.sprintf "changing field %d changes the digest" i)
+        false
+        (R.Spec.digest s = d1))
+    variants;
+  let digests = List.map R.Spec.digest variants in
+  checki "variant digests all distinct" (List.length digests)
+    (List.length (List.sort_uniq compare digests))
+
+let test_spec_rng_deterministic () =
+  let a = R.Spec.rng R.Spec.default in
+  let b = R.Spec.rng { R.Spec.default with R.Spec.n_relays = 1000 } in
+  checkb "same spec, same stream" true
+    (List.init 8 (fun _ -> Tor_sim.Rng.next_int64 a)
+    = List.init 8 (fun _ -> Tor_sim.Rng.next_int64 b));
+  let c = R.Spec.rng { R.Spec.default with R.Spec.seed = "other" } in
+  checkb "different spec, different stream" false
+    (Tor_sim.Rng.next_int64 (R.Spec.rng R.Spec.default) = Tor_sim.Rng.next_int64 c)
+
+(* --- Pool ------------------------------------------------------------------- *)
+
+let test_pool_empty () =
+  Alcotest.(check (list int)) "empty list" [] (Exec.Pool.map ~jobs:4 (fun x -> x) [])
+
+let test_pool_order_and_fallback () =
+  let input = List.init 25 Fun.id in
+  let expect = List.map (fun x -> x * x) input in
+  Alcotest.(check (list int)) "jobs=4 preserves order" expect
+    (Exec.Pool.map ~jobs:4 (fun x -> x * x) input);
+  Alcotest.(check (list int)) "jobs=1 sequential fallback" expect
+    (Exec.Pool.map ~jobs:1 (fun x -> x * x) input);
+  Alcotest.(check (list int)) "jobs far above item count" expect
+    (Exec.Pool.map ~jobs:64 (fun x -> x * x) input)
+
+let test_pool_invalid_jobs () =
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Pool.map: jobs must be >= 1") (fun () ->
+      ignore (Exec.Pool.map ~jobs:0 Fun.id [ 1 ]))
+
+let test_pool_exception () =
+  (* The lowest-index failure wins, independent of scheduling; the
+     pool must drain and join cleanly rather than hang. *)
+  Alcotest.check_raises "lowest-index exception propagates" (Failure "boom 3")
+    (fun () ->
+      ignore
+        (Exec.Pool.map ~jobs:3
+           (fun x ->
+             if x mod 5 = 3 then failwith (Printf.sprintf "boom %d" x) else x)
+           (List.init 17 Fun.id)))
+
+(* --- Cache ------------------------------------------------------------------ *)
+
+let test_cache_computes_once () =
+  let cache = Exec.Cache.create () in
+  let count = Atomic.make 0 in
+  let compute () =
+    Atomic.incr count;
+    42
+  in
+  checki "first call computes" 42 (Exec.Cache.find_or_compute cache ~key:"k" compute);
+  checki "second call reads" 42 (Exec.Cache.find_or_compute cache ~key:"k" compute);
+  checki "computed once" 1 (Atomic.get count);
+  (* 32 concurrent requests for one fresh key: still one computation. *)
+  let hits =
+    Exec.Pool.map ~jobs:4
+      (fun _ ->
+        Exec.Cache.find_or_compute cache ~key:"k2" (fun () ->
+            Atomic.incr count;
+            7))
+      (List.init 32 Fun.id)
+  in
+  checkb "every requester sees the value" true (List.for_all (( = ) 7) hits);
+  checki "k2 computed once under contention" 2 (Atomic.get count);
+  checki "two completed entries" 2 (Exec.Cache.length cache);
+  checkb "find_opt hit" true (Exec.Cache.find_opt cache "k" = Some 42);
+  checkb "find_opt miss" true (Exec.Cache.find_opt cache "absent" = None)
+
+let test_cache_exception_not_cached () =
+  let cache = Exec.Cache.create () in
+  let count = ref 0 in
+  Alcotest.check_raises "failure propagates" (Failure "nope") (fun () ->
+      ignore
+        (Exec.Cache.find_or_compute cache ~key:"k" (fun () ->
+             incr count;
+             failwith "nope")));
+  checki "failed computation is retried" 5
+    (Exec.Cache.find_or_compute cache ~key:"k" (fun () ->
+         incr count;
+         5));
+  checki "ran twice" 2 !count
+
+(* --- Sweep compilation ------------------------------------------------------- *)
+
+let test_sweep_compiles_grid () =
+  let sweep =
+    Exec.Sweep.make
+      ~protocols:[ E.Current; E.Ours ]
+      ~bandwidths_mbit:[ 10.; 1. ] ~relay_counts:[ 100; 200; 300 ] ()
+  in
+  checki "size" 12 (Exec.Sweep.size sweep);
+  let cells = Exec.Sweep.cells sweep in
+  checki "one cell per grid point" 12 (List.length cells);
+  let keys = List.map (fun c -> Exec.Job.key c.Exec.Sweep.job) cells in
+  checki "job keys all distinct" 12 (List.length (List.sort_uniq compare keys));
+  match cells with
+  | first :: _ ->
+      checkb "protocol-major order" true
+        (first.Exec.Sweep.protocol = E.Current
+        && first.Exec.Sweep.bandwidth_mbit = 10.
+        && first.Exec.Sweep.n_relays = 100)
+  | [] -> Alcotest.fail "no cells"
+
+(* --- Determinism across worker counts ---------------------------------------- *)
+
+(* Summarize without the Experiments result cache, so the jobs=1 and
+   jobs=4 runs both actually simulate. *)
+let summarize (job : Exec.Job.t) =
+  let env = R.of_spec job.Exec.Job.spec in
+  let result = E.run job.Exec.Job.protocol env in
+  ( Exec.Job.key job,
+    R.success env result,
+    R.success_latency result,
+    R.decided_at_latest result,
+    Tor_sim.Stats.total_bytes_sent result.R.stats )
+
+let test_fig10_subgrid_determinism () =
+  let sweep = Exec.Sweep.make ~bandwidths_mbit:[ 50. ] ~relay_counts:[ 100; 150 ] () in
+  let jobs = Exec.Sweep.jobs sweep in
+  let sequential = Exec.Pool.map ~jobs:1 summarize jobs in
+  let parallel = Exec.Pool.map ~jobs:4 summarize jobs in
+  checkb "jobs=1 and jobs=4 summaries identical" true (sequential = parallel);
+  let cells1 = E.fig10 ~bandwidths_mbit:[ 50. ] ~relay_counts:[ 100; 150 ] ~jobs:1 () in
+  let cells4 = E.fig10 ~bandwidths_mbit:[ 50. ] ~relay_counts:[ 100; 150 ] ~jobs:4 () in
+  checkb "fig10 cells identical across worker counts" true (cells1 = cells4)
+
+let test_run_job_cached () =
+  (* Distinctively-seeded job so this test owns its cache entry. *)
+  let job =
+    {
+      Exec.Job.protocol = E.Ours;
+      spec = { R.Spec.default with R.Spec.seed = "test-run-job-cached"; n_relays = 100 };
+    }
+  in
+  let o1 = E.run_job job in
+  let o2 = E.run_job job in
+  checkb "same outcome object from the cache" true (o1 == o2);
+  checkb "key matches the job" true (o1.Exec.Job.key = Exec.Job.key job)
+
+let suite =
+  [
+    ("spec: digest stability", `Quick, test_spec_digest_stability);
+    ("spec: per-spec rng determinism", `Quick, test_spec_rng_deterministic);
+    ("pool: empty job list", `Quick, test_pool_empty);
+    ("pool: order and sequential fallback", `Quick, test_pool_order_and_fallback);
+    ("pool: invalid jobs rejected", `Quick, test_pool_invalid_jobs);
+    ("pool: a job that raises", `Quick, test_pool_exception);
+    ("cache: computes once under contention", `Quick, test_cache_computes_once);
+    ("cache: exceptions not cached", `Quick, test_cache_exception_not_cached);
+    ("sweep: compiles the grid", `Quick, test_sweep_compiles_grid);
+    ("sweep: fig10 sub-grid determinism jobs=1 vs jobs=4", `Slow,
+      test_fig10_subgrid_determinism);
+    ("sweep: run_job memoizes by spec digest", `Quick, test_run_job_cached);
+  ]

@@ -8,6 +8,7 @@ let () =
       ("dirdoc", Test_dirdoc.suite);
       ("protocols", Test_protocols.suite);
       ("core", Test_core.suite);
+      ("exec", Test_exec.suite);
       ("client", Test_client.suite);
       ("attack", Test_attack.suite);
     ]
