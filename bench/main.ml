@@ -1,16 +1,31 @@
 (* Benchmark harness: regenerates every table and figure of the
    paper's evaluation (see DESIGN.md §4 for the experiment index), plus
-   Bechamel micro-benchmarks of the core operations.
+   Bechamel micro-benchmarks of the core operations and a macro
+   benchmark of one full protocol run.
 
      dune exec bench/main.exe                      # everything
      dune exec bench/main.exe -- fig10             # one target
-     dune exec bench/main.exe -- --jobs 4 fig10    # sweep on 4 domains *)
+     dune exec bench/main.exe -- --jobs 4 fig10    # sweep on 4 domains
+     dune exec bench/main.exe -- --json out.json micro macro
+                                                   # machine-readable results
+     dune exec bench/main.exe -- --quota 0.05 micro  # faster, noisier micro *)
 
 module E = Torpartial.Experiments
 
 (* Worker-domain count for the sweep targets (fig7/fig10/fig11).
    Outputs are identical for every setting; only wall time changes. *)
 let jobs = ref 1
+
+(* Where to write the JSON report; [None] means stdout only. *)
+let json_path : string option ref = ref None
+
+(* Bechamel time quota per micro test, in seconds. *)
+let quota = ref 0.5
+
+(* Results accumulated for the JSON report. *)
+let micro_results : (string * float) list ref = ref []    (* ns/run *)
+let macro_results : (string * float) list ref = ref []    (* wall s *)
+let target_times : (string * float) list ref = ref []     (* wall s *)
 
 let header title =
   Printf.printf "\n================ %s ================\n%!" title
@@ -95,6 +110,7 @@ let fig11 () =
 
 let table1 () =
   header "Table 1: measured communication (bytes on the wire)";
+  let rows = E.table1 () in
   Printf.printf "%-12s %4s %8s %14s  breakdown\n" "protocol" "n" "relays" "total";
   List.iter
     (fun (row : E.table1_row) ->
@@ -103,8 +119,7 @@ let table1 () =
         row.n row.n_relays row.total_bytes
         (String.concat ", "
            (List.map (fun (l, b) -> Printf.sprintf "%s=%d" l b) row.bytes_by_label)))
-    (E.table1 ());
-  let rows = E.table1 () in
+    rows;
   Printf.printf "\nmeasured exponent of total bytes vs n (power-law fit at fixed d):\n";
   List.iter
     (fun (p, (fit : Tor_sim.Summary.fit)) ->
@@ -186,8 +201,12 @@ let ablation () =
   Printf.printf "\nNaive retry (paper 2.2 strawman) under a signature-round split attack:\n";
   let module NR = Protocols.Naive_retry in
   let env =
-    Protocols.Runenv.make ~seed:"naive-bench" ~n_relays:1000
-      ~attacks:(NR.split_attack ()) ()
+    Protocols.Runenv.of_spec
+      { Protocols.Runenv.Spec.default with
+        seed = "naive-bench";
+        n_relays = 1000;
+        attacks = NR.split_attack ();
+      }
   in
   let res = NR.run env in
   Printf.printf "  agreement: %b  distinct majority-signed documents: %d\n"
@@ -223,10 +242,17 @@ let ablation () =
     (E.consdiff_savings ());
   Printf.printf "\nConsensus-health monitor (Table 1's deployed mitigation) on two runs:\n";
   let attacked =
-    Protocols.Runenv.make ~seed:"monitor-bench" ~n_relays:8000
-      ~attacks:(Attack.Ddos.bandwidth_attack ~n:9 ()) ()
+    Protocols.Runenv.of_spec
+      { Protocols.Runenv.Spec.default with
+        seed = "monitor-bench";
+        n_relays = 8000;
+        attacks = Attack.Ddos.bandwidth_attack ~n:9 ();
+      }
   in
-  let healthy = Protocols.Runenv.make ~seed:"monitor-bench" ~n_relays:1000 () in
+  let healthy =
+    Protocols.Runenv.of_spec
+      { Protocols.Runenv.Spec.default with seed = "monitor-bench"; n_relays = 1000 }
+  in
   let verdict env2 =
     (Attack.Monitor.analyze (Protocols.Current_v3.run env2).Protocols.Runenv.trace)
       .Attack.Monitor.verdict
@@ -272,18 +298,79 @@ let micro () =
       ]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second !quota) ~kde:(Some 1000) ()
+  in
   let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  let estimates = ref [] in
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "%-40s %12.0f ns/run\n" name est
+      | Some [ est ] -> estimates := (name, est) :: !estimates
       | _ -> Printf.printf "%-40s (no estimate)\n" name)
-    results
+    results;
+  let estimates =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) !estimates
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "%-40s %12.0f ns/run\n" name est)
+    estimates;
+  micro_results := estimates
+
+(* --- macro benchmark ------------------------------------------------------- *)
+
+(* One full end-to-end run of the paper's protocol at Figure 10's
+   largest completing configuration, timed wall-clock.  Exercises the
+   whole hot path at once: workload generation, vote digests, HMAC
+   signatures, and aggregation. *)
+let macro () =
+  header "Macro benchmark: one full run of ours at 8,000 relays";
+  let env =
+    Protocols.Runenv.of_spec
+      { Protocols.Runenv.Spec.default with seed = "macro-bench"; n_relays = 8000 }
+  in
+  let t0 = Unix.gettimeofday () in
+  let res = E.run E.Ours env in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "e2e-ours-8k-relays: %.3f s wall  (success: %b, latency: %s)\n"
+    wall
+    (Protocols.Runenv.success env res)
+    (match Protocols.Runenv.success_latency res with
+    | Some t -> Printf.sprintf "%.1f s simulated" t
+    | None -> "n/a");
+  macro_results := [ ("e2e-ours-8k-relays", wall) ]
+
+(* --- JSON report ----------------------------------------------------------- *)
+
+(* Hand-rolled emitter: the names are plain ASCII identifiers, so
+   OCaml's [%S] escaping is valid JSON for them. *)
+let emit_json path =
+  let buf = Buffer.create 1024 in
+  let section name entries ~last =
+    Buffer.add_string buf (Printf.sprintf "  %S: {" name);
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\n    %S: %s" key value))
+      entries;
+    if entries <> [] then Buffer.add_string buf "\n  ";
+    Buffer.add_string buf (if last then "}\n" else "},\n")
+  in
+  Buffer.add_string buf "{\n  \"schema\": \"torda-bench/1\",\n";
+  let ns (k, v) = (k, Printf.sprintf "%.1f" v) in
+  let secs (k, v) = (k, Printf.sprintf "%.6f" v) in
+  section "micro_ns_per_run" (List.map ns !micro_results) ~last:false;
+  section "macro_wall_s" (List.map secs !macro_results) ~last:false;
+  section "target_wall_s" (List.map secs (List.rev !target_times)) ~last:true;
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 (* --- driver ---------------------------------------------------------------- *)
 
@@ -300,6 +387,7 @@ let targets =
     ("outage", outage);
     ("ablation", ablation);
     ("micro", micro);
+    ("macro", macro);
   ]
 
 let rec parse_args = function
@@ -317,18 +405,41 @@ let rec parse_args = function
   | "--jobs" :: [] ->
       prerr_endline "--jobs requires a value";
       exit 1
+  | "--json" :: path :: rest ->
+      json_path := Some path;
+      parse_args rest
+  | "--json" :: [] ->
+      prerr_endline "--json requires a path";
+      exit 1
+  | "--quota" :: s :: rest -> (
+      match float_of_string_opt s with
+      | Some q when q > 0. ->
+          quota := q;
+          parse_args rest
+      | Some _ | None ->
+          Printf.eprintf "bad --quota value %S (expected seconds > 0)\n" s;
+          exit 1)
+  | "--quota" :: [] ->
+      prerr_endline "--quota requires a value";
+      exit 1
   | names -> names
 
+let run_target name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  target_times := (name, Unix.gettimeofday () -. t0) :: !target_times
+
 let () =
-  match parse_args (List.tl (Array.to_list Sys.argv)) with
-  | [] -> List.iter (fun (_, f) -> f ()) targets
+  (match parse_args (List.tl (Array.to_list Sys.argv)) with
+  | [] -> List.iter (fun (name, f) -> run_target name f) targets
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name targets with
-          | Some f -> f ()
+          | Some f -> run_target name f
           | None ->
               Printf.eprintf "unknown target %S; known: %s\n" name
                 (String.concat ", " (List.map fst targets));
               exit 1)
-        names
+        names);
+  Option.iter emit_json !json_path

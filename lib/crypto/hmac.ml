@@ -1,28 +1,29 @@
 let block_size = 64
 
-let normalize_key key =
-  let key = if String.length key > block_size then Sha256.digest_string key else key in
-  let padded = Bytes.make block_size '\x00' in
-  Bytes.blit_string key 0 padded 0 (String.length key);
-  padded
-
-let xor_pad key byte =
-  let out = Bytes.create block_size in
-  for i = 0 to block_size - 1 do
-    Bytes.set out i (Char.chr (Char.code (Bytes.get key i) lxor byte))
-  done;
-  Bytes.unsafe_to_string out
-
+(* One 64-byte pad buffer serves both HMAC passes: it is filled with
+   the (possibly pre-hashed) key, XORed with 0x36 for the inner hash,
+   then re-XORed with [0x36 lxor 0x5c] to become the outer pad in
+   place.  The single SHA-256 context is recycled with [Sha256.reset],
+   so a MAC costs two small buffers total instead of four strings. *)
 let mac ~key msg =
-  let key = normalize_key key in
-  let inner =
-    let ctx = Sha256.init () in
-    Sha256.feed_string ctx (xor_pad key 0x36);
-    Sha256.feed_string ctx msg;
-    Sha256.finalize ctx
-  in
+  let pad = Bytes.make block_size '\x00' in
+  (if String.length key > block_size then
+     Bytes.blit_string (Sha256.digest_string key) 0 pad 0 32
+   else Bytes.blit_string key 0 pad 0 (String.length key));
+  for i = 0 to block_size - 1 do
+    Bytes.unsafe_set pad i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get pad i) lxor 0x36))
+  done;
   let ctx = Sha256.init () in
-  Sha256.feed_string ctx (xor_pad key 0x5c);
+  Sha256.feed_bytes ctx pad ~pos:0 ~len:block_size;
+  Sha256.feed_string ctx msg;
+  let inner = Sha256.finalize ctx in
+  for i = 0 to block_size - 1 do
+    Bytes.unsafe_set pad i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get pad i) lxor (0x36 lxor 0x5c)))
+  done;
+  Sha256.reset ctx;
+  Sha256.feed_bytes ctx pad ~pos:0 ~len:block_size;
   Sha256.feed_string ctx inner;
   Sha256.finalize ctx
 

@@ -75,6 +75,47 @@ let aggregate_relay listings =
   in
   { Consensus.fingerprint; nickname; flags; version; protocols; bandwidth; exit_policy }
 
+(* In-place insertion sort of [a.(0 .. k-1)] — the buckets being sorted
+   hold at most one element per vote, where insertion sort beats any
+   comparison-sort setup cost. *)
+let sort_prefix ~compare a k =
+  for i = 1 to k - 1 do
+    let v = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && compare a.(!j) v > 0 do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- v
+  done
+
+(* [popular] over a sorted array prefix: same scan, same tie-break
+   toward the later (larger) run. *)
+let popular_prefix ~compare a k =
+  let best = ref a.(0) and best_count = ref 0 in
+  let current = ref a.(0) and count = ref 1 in
+  for i = 1 to k - 1 do
+    if compare a.(i) !current = 0 then incr count
+    else begin
+      if !count >= !best_count then begin
+        best := !current;
+        best_count := !count
+      end;
+      current := a.(i);
+      count := 1
+    end
+  done;
+  if !count >= !best_count then !current else !best
+
+(* Aggregation used to bucket listings into a [Hashtbl] of ref-lists
+   and rescan each bucket per flag/property with [List.filter] /
+   [List.sort] / [List.nth].  [Vote.create] already sorts each vote's
+   relays by fingerprint and rejects duplicates, so the votes can
+   instead be merged like sorted runs: one cursor per vote, each merge
+   step collects every listing of the smallest current fingerprint into
+   fixed scratch arrays (at most one listing per vote) and aggregates
+   them in place — no table, no ref-lists, no per-property rescans of
+   a list. *)
 let consensus ~valid_after ~votes =
   let seen = Hashtbl.create 16 in
   List.iter
@@ -83,25 +124,125 @@ let consensus ~valid_after ~votes =
         invalid_arg "Aggregate.consensus: duplicate authority vote";
       Hashtbl.replace seen v.Vote.authority ())
     votes;
-  let n_votes = List.length votes in
+  let votes = Array.of_list votes in
+  let n_votes = Array.length votes in
   let threshold = include_threshold ~n_votes in
-  (* Gather per-fingerprint listings across all votes. *)
-  let table : (string, (int * Relay.t) list ref) Hashtbl.t = Hashtbl.create 4096 in
-  List.iter
+  (* Any relay works as scratch filler; if no vote lists any relay the
+     merge below has nothing to do. *)
+  let filler = ref None in
+  Array.iter
     (fun (v : Vote.t) ->
-      Array.iter
-        (fun (r : Relay.t) ->
-          match Hashtbl.find_opt table r.fingerprint with
-          | Some cell -> cell := (v.Vote.authority, r) :: !cell
-          | None -> Hashtbl.add table r.fingerprint (ref [ (v.Vote.authority, r) ]))
-        v.Vote.relays)
+      if !filler = None && Array.length v.Vote.relays > 0 then
+        filler := Some v.Vote.relays.(0))
     votes;
-  let entries =
-    Hashtbl.fold
-      (fun _ cell acc ->
-        let listings = !cell in
-        if List.length listings >= threshold then aggregate_relay listings :: acc
-        else acc)
-      table []
-  in
-  Consensus.create ~valid_after ~n_votes ~entries
+  match !filler with
+  | None -> Consensus.create ~valid_after ~n_votes ~entries:[]
+  | Some f ->
+      let cursor = Array.make n_votes 0 in
+      (* Scratch for the current fingerprint's bucket, reused across the
+         whole merge. *)
+      let auths = Array.make n_votes 0 in
+      let rels = Array.make n_votes f in
+      let versions = Array.make n_votes f.Relay.version in
+      let protos = Array.make n_votes f.Relay.protocols in
+      let policies = Array.make n_votes f.Relay.exit_policy in
+      let bws = Array.make n_votes 0 in
+      let entries = ref [] in
+      let running = ref true in
+      while !running do
+        (* Smallest fingerprint under any cursor is the next candidate. *)
+        let min_fp = ref "" in
+        let found = ref false in
+        for i = 0 to n_votes - 1 do
+          let relays = votes.(i).Vote.relays in
+          if cursor.(i) < Array.length relays then begin
+            let fp = relays.(cursor.(i)).Relay.fingerprint in
+            if (not !found) || String.compare fp !min_fp < 0 then begin
+              min_fp := fp;
+              found := true
+            end
+          end
+        done;
+        if not !found then running := false
+        else begin
+          let k = ref 0 in
+          for i = 0 to n_votes - 1 do
+            let relays = votes.(i).Vote.relays in
+            if
+              cursor.(i) < Array.length relays
+              && String.equal relays.(cursor.(i)).Relay.fingerprint !min_fp
+            then begin
+              auths.(!k) <- votes.(i).Vote.authority;
+              rels.(!k) <- relays.(cursor.(i));
+              incr k;
+              cursor.(i) <- cursor.(i) + 1
+            end
+          done;
+          let k = !k in
+          if k >= threshold then begin
+            (* Nickname: the listing vote with the largest authority id
+               (ids are distinct, checked above). *)
+            let best = ref 0 in
+            for i = 1 to k - 1 do
+              if auths.(i) > auths.(!best) then best := i
+            done;
+            let nickname = rels.(!best).Relay.nickname in
+            (* Flags: strict majority of listing votes; ties unset. *)
+            let flags = ref Flags.empty in
+            List.iter
+              (fun flag ->
+                let yes = ref 0 in
+                for i = 0 to k - 1 do
+                  if Flags.mem flag rels.(i).Relay.flags then incr yes
+                done;
+                if 2 * !yes > k then flags := Flags.add flag !flags)
+              Flags.all;
+            for i = 0 to k - 1 do
+              versions.(i) <- rels.(i).Relay.version;
+              protos.(i) <- rels.(i).Relay.protocols;
+              policies.(i) <- rels.(i).Relay.exit_policy
+            done;
+            sort_prefix ~compare:Version.compare versions k;
+            sort_prefix ~compare:String.compare protos k;
+            sort_prefix ~compare:Exit_policy.compare policies k;
+            let version = popular_prefix ~compare:Version.compare versions k in
+            let protocols = popular_prefix ~compare:String.compare protos k in
+            let exit_policy =
+              popular_prefix ~compare:Exit_policy.compare policies k
+            in
+            (* Bandwidth: in-place low-median of the measured values,
+               falling back to advertised when none were measured. *)
+            let m = ref 0 in
+            for i = 0 to k - 1 do
+              match rels.(i).Relay.measured with
+              | Some v ->
+                  bws.(!m) <- v;
+                  incr m
+              | None -> ()
+            done;
+            if !m = 0 then begin
+              for i = 0 to k - 1 do
+                bws.(i) <- rels.(i).Relay.bandwidth
+              done;
+              m := k
+            end;
+            sort_prefix ~compare:Int.compare bws !m;
+            let bandwidth = bws.((!m - 1) / 2) in
+            entries :=
+              {
+                Consensus.fingerprint = !min_fp;
+                nickname;
+                flags = !flags;
+                version;
+                protocols;
+                bandwidth;
+                exit_policy;
+              }
+              :: !entries
+          end
+        end
+      done;
+      (* The merge visits fingerprints in ascending order, so reversing
+         the accumulator hands [Consensus.create] a sorted list and its
+         sort check short-circuits. *)
+      Consensus.create ~valid_after ~n_votes ~entries:(List.rev !entries)

@@ -15,40 +15,72 @@ type t = {
   n_votes : int;
   entries : entry array;
   digest : Crypto.Digest32.t;
+  signing_payload : string;
 }
 
 let header_wire_bytes = 1536
 let entry_wire_bytes = 220
 
+(* Same scheme as [Vote.compute_digest]: one reused [Sink] scratch per
+   record, flushed into the streaming hash — no per-entry [sprintf].
+   The encoding is pinned byte-for-byte by the digest regression
+   tests. *)
 let compute_digest ~valid_after ~n_votes entries =
   let ctx = Crypto.Sha256.init () in
-  let feed = Crypto.Sha256.feed_string ctx in
-  feed (Printf.sprintf "consensus|%.0f|%d|" valid_after n_votes);
+  let sink = Crypto.Sink.create () in
+  Crypto.Sink.feed_str sink "consensus|";
+  Crypto.Sink.feed_fixed sink valid_after;
+  Crypto.Sink.feed_char sink '|';
+  Crypto.Sink.feed_int sink n_votes;
+  Crypto.Sink.feed_char sink '|';
   Array.iter
     (fun e ->
-      feed e.fingerprint;
-      feed e.nickname;
-      feed
-        (Printf.sprintf "|%s|%d|%s|%s|%s\n" (Flags.to_string e.flags) e.bandwidth
-           (Version.to_string e.version) e.protocols
-           (Exit_policy.to_string e.exit_policy)))
+      Crypto.Sink.feed_str sink e.fingerprint;
+      Crypto.Sink.feed_str sink e.nickname;
+      Crypto.Sink.feed_char sink '|';
+      Flags.feed sink e.flags;
+      Crypto.Sink.feed_char sink '|';
+      Crypto.Sink.feed_int sink e.bandwidth;
+      Crypto.Sink.feed_char sink '|';
+      Version.feed sink e.version;
+      Crypto.Sink.feed_char sink '|';
+      Crypto.Sink.feed_str sink e.protocols;
+      Crypto.Sink.feed_char sink '|';
+      Exit_policy.feed sink e.exit_policy;
+      Crypto.Sink.feed_char sink '\n';
+      (* Same ~4 KiB batched flush as [Vote.compute_digest]. *)
+      if Crypto.Sink.length sink >= 4096 then begin
+        Crypto.Sink.feed_sha256 sink ctx;
+        Crypto.Sink.clear sink
+      end)
     entries;
+  Crypto.Sink.feed_sha256 sink ctx;
   Crypto.Digest32.of_raw (Crypto.Sha256.finalize ctx)
 
 let create ~valid_after ~n_votes ~entries =
   let arr = Array.of_list entries in
-  Array.sort (fun a b -> String.compare a.fingerprint b.fingerprint) arr;
+  (* Aggregation emits entries already in fingerprint order; skip the
+     sort when the input confirms it. *)
+  let sorted = ref true in
+  for i = 1 to Array.length arr - 1 do
+    if String.compare arr.(i - 1).fingerprint arr.(i).fingerprint > 0 then
+      sorted := false
+  done;
+  if not !sorted then
+    Array.sort (fun a b -> String.compare a.fingerprint b.fingerprint) arr;
   for i = 1 to Array.length arr - 1 do
     if String.equal arr.(i - 1).fingerprint arr.(i).fingerprint then
       invalid_arg "Consensus.create: duplicate relay fingerprint"
   done;
+  let digest = compute_digest ~valid_after ~n_votes arr in
   {
     valid_after;
     fresh_until = valid_after +. 3600.;
     valid_until = valid_after +. (3. *. 3600.);
     n_votes;
     entries = arr;
-    digest = compute_digest ~valid_after ~n_votes arr;
+    digest;
+    signing_payload = "tor-consensus-signature\x00" ^ Crypto.Digest32.raw digest;
   }
 
 let n_entries t = Array.length t.entries
@@ -94,7 +126,7 @@ let serialize t =
   line "directory-footer";
   Buffer.contents buf
 
-let signing_payload t = "tor-consensus-signature\x00" ^ Crypto.Digest32.raw t.digest
+let signing_payload t = t.signing_payload
 
 (* --- parsing ------------------------------------------------------------- *)
 

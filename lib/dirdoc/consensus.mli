@@ -22,6 +22,9 @@ type t = private {
   n_votes : int;          (** votes aggregated into this document *)
   entries : entry array;  (** sorted by fingerprint *)
   digest : Crypto.Digest32.t;
+  signing_payload : string;
+      (** cached domain-tagged digest — every authority signs the same
+          payload, so it is derived once at construction *)
 }
 
 val create : valid_after:float -> n_votes:int -> entries:entry list -> t
@@ -51,4 +54,4 @@ val parse : string -> (t, string) result
 
 val signing_payload : t -> string
 (** The byte string authorities sign: the digest prefixed with a
-    domain tag. *)
+    domain tag.  Cached at construction; this is a field read. *)

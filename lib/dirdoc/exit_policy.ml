@@ -40,6 +40,20 @@ let to_string t =
   let keyword = match t.policy with Accept -> "accept" | Reject -> "reject" in
   keyword ^ " " ^ String.concat "," (List.map range_to_string t.ranges)
 
+(* Byte-identical to [to_string], written straight into the sink. *)
+let feed sink t =
+  Crypto.Sink.feed_str sink
+    (match t.policy with Accept -> "accept " | Reject -> "reject ");
+  List.iteri
+    (fun i (lo, hi) ->
+      if i > 0 then Crypto.Sink.feed_char sink ',';
+      Crypto.Sink.feed_int sink lo;
+      if lo <> hi then begin
+        Crypto.Sink.feed_char sink '-';
+        Crypto.Sink.feed_int sink hi
+      end)
+    t.ranges
+
 let parse_range s =
   match String.index_opt s '-' with
   | None -> (
@@ -73,7 +87,12 @@ let of_string s =
             | exception Invalid_argument m -> Error m))
   | _ -> Error (Printf.sprintf "bad exit policy format %S" s)
 
-let compare a b = String.compare (to_string a) (to_string b)
+(* The physical-equality fast path matters: aggregation compares the
+   policies of one relay's listings across votes, which are usually the
+   same shared value, and rendering both sides through [sprintf] per
+   comparison dominated the aggregation profile. *)
+let compare a b =
+  if a == b then 0 else String.compare (to_string a) (to_string b)
 let equal a b = compare a b = 0
 let max a b = if compare a b >= 0 then a else b
 let pp ppf t = Format.pp_print_string ppf (to_string t)

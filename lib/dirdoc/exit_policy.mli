@@ -26,6 +26,11 @@ val allows_port : t -> int -> bool
 (** Whether the summary permits exiting to a port. *)
 
 val to_string : t -> string
+
+val feed : Crypto.Sink.t -> t -> unit
+(** [feed sink t] writes exactly [to_string t] into [sink] without
+    allocating the intermediate string. *)
+
 val of_string : string -> (t, string) result
 
 val compare : t -> t -> int

@@ -71,6 +71,17 @@ let flag_of_string s = List.find_opt (fun f -> flag_to_string f = s) all
 
 let to_string t = String.concat " " (List.map flag_to_string (to_list t))
 
+(* Byte-identical to [to_string], written straight into the sink. *)
+let feed sink t =
+  let first = ref true in
+  List.iter
+    (fun f ->
+      if mem f t then begin
+        if !first then first := false else Crypto.Sink.feed_char sink ' ';
+        Crypto.Sink.feed_str sink (flag_to_string f)
+      end)
+    all
+
 let of_string s =
   let words = String.split_on_char ' ' s |> List.filter (fun w -> w <> "") in
   let rec build acc = function

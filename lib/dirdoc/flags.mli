@@ -46,6 +46,10 @@ val flag_of_string : string -> flag option
 val to_string : t -> string
 (** Space-separated dir-spec rendering, e.g. ["Fast Running Valid"]. *)
 
+val feed : Crypto.Sink.t -> t -> unit
+(** [feed sink t] writes exactly [to_string t] into [sink] without
+    allocating the intermediate string. *)
+
 val of_string : string -> (t, string) result
 (** Parse a space-separated flag list; fails on unknown flags. *)
 

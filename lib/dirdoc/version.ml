@@ -9,6 +9,21 @@ let to_string v =
   let base = Printf.sprintf "%d.%d.%d.%d" v.major v.minor v.micro v.patch in
   match v.tag with None -> base | Some tag -> base ^ "-" ^ tag
 
+(* Byte-identical to [to_string], written straight into the sink. *)
+let feed sink v =
+  Crypto.Sink.feed_int sink v.major;
+  Crypto.Sink.feed_char sink '.';
+  Crypto.Sink.feed_int sink v.minor;
+  Crypto.Sink.feed_char sink '.';
+  Crypto.Sink.feed_int sink v.micro;
+  Crypto.Sink.feed_char sink '.';
+  Crypto.Sink.feed_int sink v.patch;
+  match v.tag with
+  | None -> ()
+  | Some tag ->
+      Crypto.Sink.feed_char sink '-';
+      Crypto.Sink.feed_str sink tag
+
 let of_string s =
   let body, tag =
     match String.index_opt s '-' with

@@ -16,6 +16,11 @@ val of_string : string -> (t, string) result
 (** Parse ["0.4.8.12"] or ["0.4.9.1-alpha"]. *)
 
 val to_string : t -> string
+
+val feed : Crypto.Sink.t -> t -> unit
+(** [feed sink v] writes exactly [to_string v] into [sink] without
+    allocating the intermediate string. *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val max : t -> t -> t

@@ -14,31 +14,62 @@ let header_wire_bytes = 2048
 
 (* Canonical compact encoding: every voted property of every relay, so
    any divergence between two authorities' views changes the digest.
-   Streamed through the hash to avoid building a megabyte string. *)
+   Each record is rendered into one reused [Sink] scratch and flushed
+   into the streaming hash, so a 10k-relay vote allocates neither a
+   megabyte string nor any per-relay [sprintf] intermediates.  The
+   encoding is pinned byte-for-byte by the digest regression tests. *)
 let compute_digest ~authority ~authority_fingerprint ~published ~valid_after relays =
   let ctx = Crypto.Sha256.init () in
-  let feed = Crypto.Sha256.feed_string ctx in
-  feed (Printf.sprintf "vote|%d|%s|%.0f|%.0f|" authority authority_fingerprint published valid_after);
+  let sink = Crypto.Sink.create () in
+  Crypto.Sink.feed_str sink "vote|";
+  Crypto.Sink.feed_int sink authority;
+  Crypto.Sink.feed_char sink '|';
+  Crypto.Sink.feed_str sink authority_fingerprint;
+  Crypto.Sink.feed_char sink '|';
+  Crypto.Sink.feed_fixed sink published;
+  Crypto.Sink.feed_char sink '|';
+  Crypto.Sink.feed_fixed sink valid_after;
+  Crypto.Sink.feed_char sink '|';
   Array.iter
     (fun (r : Relay.t) ->
-      feed r.fingerprint;
-      feed r.nickname;
-      feed (Crypto.Digest32.raw r.descriptor_digest);
-      feed
-        (Printf.sprintf "|%s|%d|%d|%s|%s|%s\n"
-           (Flags.to_string r.flags)
-           r.bandwidth
-           (Option.value r.measured ~default:(-1))
-           (Version.to_string r.version)
-           r.protocols
-           (Exit_policy.to_string r.exit_policy)))
+      Crypto.Sink.feed_str sink r.fingerprint;
+      Crypto.Sink.feed_str sink r.nickname;
+      Crypto.Sink.feed_str sink (Crypto.Digest32.raw r.descriptor_digest);
+      Crypto.Sink.feed_char sink '|';
+      Flags.feed sink r.flags;
+      Crypto.Sink.feed_char sink '|';
+      Crypto.Sink.feed_int sink r.bandwidth;
+      Crypto.Sink.feed_char sink '|';
+      Crypto.Sink.feed_int sink (Option.value r.measured ~default:(-1));
+      Crypto.Sink.feed_char sink '|';
+      Version.feed sink r.version;
+      Crypto.Sink.feed_char sink '|';
+      Crypto.Sink.feed_str sink r.protocols;
+      Crypto.Sink.feed_char sink '|';
+      Exit_policy.feed sink r.exit_policy;
+      Crypto.Sink.feed_char sink '\n';
+      (* Flush in ~4 KiB batches: the hash then consumes mostly whole
+         blocks straight from the sink buffer instead of realigning a
+         partial block every relay. *)
+      if Crypto.Sink.length sink >= 4096 then begin
+        Crypto.Sink.feed_sha256 sink ctx;
+        Crypto.Sink.clear sink
+      end)
     relays;
+  Crypto.Sink.feed_sha256 sink ctx;
   Crypto.Digest32.of_raw (Crypto.Sha256.finalize ctx)
 
 let create ~authority ~authority_fingerprint ~nickname ~published ~valid_after ~relays =
   if authority < 0 then invalid_arg "Vote.create: negative authority id";
   let arr = Array.of_list relays in
-  Array.sort Relay.compare_fingerprint arr;
+  (* Callers routinely rebuild votes from an already-ordered population
+     (sweep reruns, aggregation benches), so check before paying for a
+     full sort. *)
+  let sorted = ref true in
+  for i = 1 to Array.length arr - 1 do
+    if Relay.compare_fingerprint arr.(i - 1) arr.(i) > 0 then sorted := false
+  done;
+  if not !sorted then Array.sort Relay.compare_fingerprint arr;
   for i = 1 to Array.length arr - 1 do
     if String.equal arr.(i - 1).Relay.fingerprint arr.(i).Relay.fingerprint then
       invalid_arg "Vote.create: duplicate relay fingerprint"

@@ -4,10 +4,9 @@ type 'a t = {
   mutable heap : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
-  mutable dummy : 'a entry option; (* sentinel reused for vacated slots *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; dummy = None }
+let create () = { heap = [||]; size = 0; next_seq = 0 }
 
 let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -47,7 +46,6 @@ let push q ~time payload =
     invalid_arg "Event_queue.push: time must be finite";
   let entry = { time; seq = q.next_seq; payload } in
   q.next_seq <- q.next_seq + 1;
-  if q.dummy = None then q.dummy <- Some entry;
   grow q entry;
   q.heap.(q.size) <- entry;
   q.size <- q.size + 1;
@@ -60,7 +58,10 @@ let pop q =
     q.size <- q.size - 1;
     if q.size > 0 then begin
       q.heap.(0) <- q.heap.(q.size);
-      (match q.dummy with Some d -> q.heap.(q.size) <- d | None -> ());
+      (* Park the just-popped entry in the vacated slot: it is a valid
+         entry that is already leaving the queue, so the slot never
+         retains a live payload longer than the pop that freed it. *)
+      q.heap.(q.size) <- top;
       sift_down q 0
     end;
     Some (top.time, top.payload)

@@ -67,6 +67,95 @@ let qcheck_streaming =
       feed 0;
       String.equal (Sha256.finalize ctx) (Sha256.digest_string s))
 
+(* The padding boundaries — 55/56 (length field fits / doesn't fit in
+   the final block) and 63/64/65 (around a full block) — are where a
+   chunked absorption can disagree with the one-shot digest.  Pin every
+   split of messages at those lengths, then fuzz arbitrary cut lists. *)
+let test_chunk_boundaries () =
+  let data = String.init 130 (fun i -> Char.chr (i * 11 mod 256)) in
+  List.iter
+    (fun total ->
+      let msg = String.sub data 0 total in
+      let oneshot = Sha256.digest_hex msg in
+      for split = 0 to total do
+        let ctx = Sha256.init () in
+        Sha256.feed_string ctx (String.sub msg 0 split);
+        Sha256.feed_string ctx (String.sub msg split (total - split));
+        check str
+          (Printf.sprintf "len %d split %d" total split)
+          oneshot
+          (Sha256.hex_of_raw (Sha256.finalize ctx))
+      done)
+    [ 55; 56; 63; 64; 65; 119; 127; 128; 129 ]
+
+let qcheck_random_splits =
+  QCheck.Test.make ~name:"sha256 random split points = one-shot" ~count:100
+    QCheck.(
+      pair
+        (string_of_size (Gen.int_range 0 300))
+        (list_of_size (Gen.int_range 0 8) (int_range 0 300)))
+    (fun (s, cuts) ->
+      let n = String.length s in
+      let cuts =
+        List.sort_uniq Int.compare (List.filter (fun c -> c <= n) (0 :: n :: cuts))
+      in
+      let ctx = Sha256.init () in
+      let rec feed = function
+        | a :: (b :: _ as rest) ->
+            Sha256.feed_string ctx (String.sub s a (b - a));
+            feed rest
+        | _ -> ()
+      in
+      feed cuts;
+      String.equal (Sha256.finalize ctx) (Sha256.digest_string s))
+
+(* --- Sink ------------------------------------------------------------------ *)
+
+let test_sink_feeders () =
+  let sink = Sink.create ~size:4 () in
+  Sink.feed_str sink "x=";
+  Sink.feed_int sink (-42);
+  Sink.feed_char sink '|';
+  Sink.feed_int sink 0;
+  Sink.feed_char sink '|';
+  Sink.feed_int sink max_int;
+  Sink.feed_char sink '|';
+  Sink.feed_int sink min_int;
+  check str "ints and growth"
+    (Printf.sprintf "x=-42|0|%d|%d" max_int min_int)
+    (Sink.contents sink);
+  Alcotest.(check int) "length" (String.length (Sink.contents sink)) (Sink.length sink);
+  check str "digest = digest of contents"
+    (Sha256.digest_hex (Sink.contents sink))
+    (Sha256.hex_of_raw (Sink.digest sink));
+  let ctx = Sha256.init () in
+  Sink.feed_sha256 sink ctx;
+  check str "feed_sha256 streams contents"
+    (Sha256.digest_hex (Sink.contents sink))
+    (Sha256.hex_of_raw (Sha256.finalize ctx));
+  Sink.clear sink;
+  Alcotest.(check int) "clear empties" 0 (Sink.length sink);
+  Sink.feed_fixed sink (-0.);
+  check str "negative zero like %.0f" "-0" (Sink.contents sink);
+  Sink.clear sink;
+  Sink.feed_fixed sink 1700007200.;
+  check str "integral timestamp" "1700007200" (Sink.contents sink)
+
+let qcheck_sink_int =
+  QCheck.Test.make ~name:"sink feed_int matches string_of_int" ~count:500
+    QCheck.int
+    (fun n ->
+      let sink = Sink.create () in
+      Sink.feed_int sink n;
+      String.equal (Sink.contents sink) (string_of_int n))
+
+let qcheck_sink_fixed =
+  QCheck.Test.make ~name:"sink feed_fixed matches %.0f" ~count:500 QCheck.float
+    (fun x ->
+      let sink = Sink.create () in
+      Sink.feed_fixed sink x;
+      String.equal (Sink.contents sink) (Printf.sprintf "%.0f" x))
+
 (* --- HMAC ----------------------------------------------------------------- *)
 
 (* RFC 4231 test cases. *)
@@ -197,6 +286,11 @@ let suite =
     ("sha256 streaming", `Quick, test_streaming_matches_oneshot);
     ("sha256 feed bounds", `Quick, test_feed_bounds);
     QCheck_alcotest.to_alcotest qcheck_streaming;
+    ("sha256 chunk boundaries", `Quick, test_chunk_boundaries);
+    QCheck_alcotest.to_alcotest qcheck_random_splits;
+    ("sink feeders", `Quick, test_sink_feeders);
+    QCheck_alcotest.to_alcotest qcheck_sink_int;
+    QCheck_alcotest.to_alcotest qcheck_sink_fixed;
     ("hmac RFC 4231", `Quick, test_hmac_rfc4231);
     ("hmac constant-time equal", `Quick, test_hmac_equal);
     ("digest32", `Quick, test_digest32);

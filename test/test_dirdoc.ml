@@ -537,6 +537,120 @@ let qcheck_parser_fuzz =
       (match Vote.parse text with Ok _ | Error _ -> true)
       && (match Consensus.parse text with Ok _ | Error _ -> true))
 
+(* --- digest encoding regression --------------------------------------------- *)
+
+(* The digest encodings were captured from the pre-Sink (sprintf-based)
+   implementation; the hexes below pin them byte-for-byte.  Any change
+   to the canonical vote/consensus encoding is a wire-format break and
+   must fail here. *)
+let pinned_relays () =
+  let fp c = String.make 40 c in
+  let policy_web = Exit_policy.make Exit_policy.Accept [ (80, 80); (443, 443) ] in
+  let r1 =
+    Relay.make ~fingerprint:(fp 'A') ~nickname:"alpha" ~address:"10.0.0.1"
+      ~or_port:9001 ~dir_port:9030 ~published:1700000000.
+      ~flags:(Flags.of_list [ Flags.Fast; Flags.Running; Flags.Valid ])
+      ~version:(Version.make 0 4 8 12) ~bandwidth:1000 ~measured:1200
+      ~exit_policy:Exit_policy.accept_all ()
+  in
+  let r2 =
+    Relay.make ~fingerprint:(fp 'B') ~nickname:"bravo" ~address:"10.0.0.2"
+      ~or_port:9001 ~published:1700000100.
+      ~flags:(Flags.of_list [ Flags.Exit; Flags.Running ])
+      ~version:(Version.make ~tag:"alpha" 0 4 8 11) ~bandwidth:2000
+      ~exit_policy:Exit_policy.reject_all ()
+  in
+  let r3 =
+    Relay.make ~fingerprint:(fp 'C') ~nickname:"charlie" ~address:"10.0.0.3"
+      ~or_port:443 ~dir_port:80 ~published:1700000200.
+      ~flags:(Flags.of_list [ Flags.Guard; Flags.Running; Flags.Stable; Flags.Valid ])
+      ~version:(Version.make 0 4 9 0) ~bandwidth:500 ~measured:450
+      ~exit_policy:policy_web ()
+  in
+  (fp 'D', [ r1; r2; r3 ])
+
+let test_pinned_vote_digest () =
+  let auth_fp, relays = pinned_relays () in
+  let vote =
+    Vote.create ~authority:3 ~authority_fingerprint:auth_fp ~nickname:"dannenberg"
+      ~published:1700003600. ~valid_after:1700007200. ~relays
+  in
+  checks "pre-refactor vote digest"
+    "9358aa9842a777ffe2ee7943e1614a7767ed852f71cfca1f92a517544ae56419"
+    (Crypto.Digest32.hex (Vote.digest vote))
+
+let test_pinned_consensus_digest () =
+  let _, relays = pinned_relays () in
+  let entry (r : Relay.t) : Consensus.entry =
+    {
+      fingerprint = r.fingerprint;
+      nickname = r.nickname;
+      flags = r.flags;
+      version = r.version;
+      protocols = r.protocols;
+      bandwidth = r.bandwidth;
+      exit_policy = r.exit_policy;
+    }
+  in
+  let c =
+    Consensus.create ~valid_after:1700007200. ~n_votes:9
+      ~entries:(List.map entry relays)
+  in
+  checks "pre-refactor consensus digest"
+    "b218e9f5d14fbdadfc6f31ab46f503d812d6c414a09d9796f3fa8c48062832a3"
+    (Crypto.Digest32.hex (Consensus.digest c));
+  checks "signing payload = tagged digest"
+    ("tor-consensus-signature\x00" ^ Crypto.Digest32.raw (Consensus.digest c))
+    (Consensus.signing_payload c)
+
+(* --- aggregation equivalence ------------------------------------------------- *)
+
+(* Reference implementation: the pre-refactor list path — bucket
+   listings per fingerprint in a Hashtbl, filter by threshold, and run
+   the still-exported [aggregate_relay] on each bucket.  The array
+   merge inside [Aggregate.consensus] must produce the identical
+   document on a realistically divergent 9-authority workload. *)
+let test_aggregate_equivalence () =
+  let keyring = Crypto.Keyring.create ~n:9 () in
+  let rng = Tor_sim.Rng.of_string_seed "agg-equiv" in
+  let votes =
+    Array.to_list
+      (Workload.votes ~rng ~keyring ~n_authorities:9 ~n_relays:1000
+         ~valid_after:3600. ())
+  in
+  let reference =
+    let n_votes = List.length votes in
+    let threshold = Aggregate.include_threshold ~n_votes in
+    let table : (string, (int * Relay.t) list ref) Hashtbl.t =
+      Hashtbl.create 4096
+    in
+    List.iter
+      (fun (v : Vote.t) ->
+        Array.iter
+          (fun (r : Relay.t) ->
+            match Hashtbl.find_opt table r.Relay.fingerprint with
+            | Some cell -> cell := (v.Vote.authority, r) :: !cell
+            | None ->
+                Hashtbl.add table r.Relay.fingerprint
+                  (ref [ (v.Vote.authority, r) ]))
+          v.Vote.relays)
+      votes;
+    let entries =
+      Hashtbl.fold
+        (fun _ cell acc ->
+          if List.length !cell >= threshold then
+            Aggregate.aggregate_relay !cell :: acc
+          else acc)
+        table []
+    in
+    Consensus.create ~valid_after:3600. ~n_votes ~entries
+  in
+  let merged = Aggregate.consensus ~valid_after:3600. ~votes in
+  checki "same entry count" (Consensus.n_entries reference)
+    (Consensus.n_entries merged);
+  checkb "identical digest (all entries byte-equal)" true
+    (Consensus.equal reference merged)
+
 let suite =
   [
     ("flags basics", `Quick, test_flags_basic);
@@ -566,6 +680,9 @@ let suite =
     ("exit policy tie-break", `Quick, test_exit_policy_tie);
     ("bandwidth median rules", `Quick, test_bandwidth_median);
     ("aggregate errors", `Quick, test_aggregate_errors);
+    ("pinned vote digest", `Quick, test_pinned_vote_digest);
+    ("pinned consensus digest", `Quick, test_pinned_consensus_digest);
+    ("aggregate merge equivalence", `Slow, test_aggregate_equivalence);
     QCheck_alcotest.to_alcotest qcheck_consensus_order_independent;
     ("consensus validity window", `Quick, test_consensus_validity_window);
     ("consensus serialize", `Quick, test_consensus_serialize);

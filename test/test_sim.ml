@@ -116,6 +116,52 @@ let qcheck_queue_sorted =
       let out = drain [] in
       out = List.sort Float.compare times)
 
+(* Interleaved push/pop stress against a sorted-list model: exercises
+   the vacated-slot handling in [pop] (the popped root is parked in the
+   freed slot) under repeated fill/drain cycles, including FIFO ties. *)
+let qcheck_queue_interleaved =
+  QCheck.Test.make ~name:"event queue interleaved push/pop matches model"
+    ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 0 300)
+        (pair bool (int_range 0 20) (* coarse times force FIFO ties *)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      let pop_both () =
+        match (Event_queue.pop q, !model) with
+        | None, [] -> ()
+        | Some (time, s), (mt, ms) :: rest ->
+            if not (Float.equal time mt && s = ms) then ok := false;
+            model := rest
+        | Some _, [] -> ok := false
+        | None, _ :: _ ->
+            ok := false;
+            model := []
+      in
+      List.iter
+        (fun (is_pop, t) ->
+          if is_pop then pop_both ()
+          else begin
+            let t = float_of_int t in
+            Event_queue.push q ~time:t !seq;
+            (* insert after every entry at an earlier-or-equal time, so
+               the model pops FIFO within equal times *)
+            let rec ins = function
+              | ((mt, _) as hd) :: rest when mt <= t -> hd :: ins rest
+              | rest -> (t, !seq) :: rest
+            in
+            model := ins !model;
+            incr seq
+          end)
+        ops;
+      while not (Event_queue.is_empty q) || !model <> [] do
+        pop_both ()
+      done;
+      !ok)
+
 (* --- Engine -------------------------------------------------------------- *)
 
 let test_engine_order_and_clock () =
@@ -374,6 +420,7 @@ let suite =
     ("event queue FIFO ties", `Quick, test_queue_fifo_ties);
     ("event queue invalid time", `Quick, test_queue_invalid_time);
     QCheck_alcotest.to_alcotest qcheck_queue_sorted;
+    QCheck_alcotest.to_alcotest qcheck_queue_interleaved;
     ("engine order and clock", `Quick, test_engine_order_and_clock);
     ("engine cancel", `Quick, test_engine_cancel);
     ("engine horizon", `Quick, test_engine_horizon);
