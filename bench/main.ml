@@ -25,6 +25,7 @@ let quota = ref 0.5
 (* Results accumulated for the JSON report. *)
 let micro_results : (string * float) list ref = ref []    (* ns/run *)
 let macro_results : (string * float) list ref = ref []    (* wall s *)
+let alloc_results : (string * float) list ref = ref []    (* MB allocated per run *)
 let target_times : (string * float) list ref = ref []     (* wall s *)
 
 let header title =
@@ -277,6 +278,20 @@ let micro () =
   let payload_64k = String.make 65536 'x' in
   let serialized = Dirdoc.Vote.serialize votes.(0) in
   let relays = Array.to_list votes.(0).Dirdoc.Vote.relays in
+  (* Broadcast churn: 9 authorities all-to-all through the pooled
+     event/flight machinery, with a rate window on every NIC so egress
+     reservations cross breakpoints.  One persistent network; each run
+     drains 72 broadcast deliveries through the trampoline. *)
+  let churn_net =
+    let engine = Tor_sim.Engine.create () in
+    let topology = Tor_sim.Topology.uniform ~n:9 ~latency:0.01 in
+    let net = Tor_sim.Net.create ~engine ~topology ~bits_per_sec:250e6 () in
+    Tor_sim.Net.set_handler net (fun ~dst:_ ~src:_ () -> ());
+    for node = 0 to 8 do
+      Tor_sim.Net.limit_node net ~node ~start:1. ~stop:2. ~bits_per_sec:10e6
+    done;
+    net
+  in
   let tests =
     Test.make_grouped ~name:"micro"
       [
@@ -295,6 +310,11 @@ let micro () =
         Test.make ~name:"signature-sign+verify" (Staged.stage (fun () ->
             let s = Crypto.Signature.sign keyring ~signer:0 payload_1k in
             assert (Crypto.Signature.verify keyring s payload_1k)));
+        Test.make ~name:"net-broadcast-churn" (Staged.stage (fun () ->
+            for src = 0 to 8 do
+              Tor_sim.Net.broadcast churn_net ~src ~size:600 ()
+            done;
+            Tor_sim.Engine.run (Tor_sim.Net.engine churn_net)));
       ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -323,26 +343,48 @@ let micro () =
 
 (* --- macro benchmark ------------------------------------------------------- *)
 
-(* One full end-to-end run of the paper's protocol at Figure 10's
-   largest completing configuration, timed wall-clock.  Exercises the
-   whole hot path at once: workload generation, vote digests, HMAC
-   signatures, and aggregation. *)
-let macro () =
-  header "Macro benchmark: one full run of ours at 8,000 relays";
-  let env =
-    Protocols.Runenv.of_spec
-      { Protocols.Runenv.Spec.default with seed = "macro-bench"; n_relays = 8000 }
-  in
+(* Full end-to-end protocol runs, timed wall-clock and measured for
+   allocation ([Gc.allocated_bytes] across the run, reported as MB).
+   Exercises the whole hot path at once: event scheduling, NIC
+   reservations, vote digests, HMAC signatures, and aggregation. *)
+let macro_run name ~env ~protocol =
   let t0 = Unix.gettimeofday () in
-  let res = E.run E.Ours env in
+  let a0 = Gc.allocated_bytes () in
+  let res = E.run protocol env in
+  let alloc_mb = (Gc.allocated_bytes () -. a0) /. 1e6 in
   let wall = Unix.gettimeofday () -. t0 in
-  Printf.printf "e2e-ours-8k-relays: %.3f s wall  (success: %b, latency: %s)\n"
-    wall
+  Printf.printf "%-28s %8.3f s wall  %8.1f MB alloc  (success: %b, latency: %s)\n"
+    name wall alloc_mb
     (Protocols.Runenv.success env res)
     (match Protocols.Runenv.success_latency res with
     | Some t -> Printf.sprintf "%.1f s simulated" t
     | None -> "n/a");
-  macro_results := [ ("e2e-ours-8k-relays", wall) ]
+  macro_results := !macro_results @ [ (name, wall) ];
+  alloc_results := !alloc_results @ [ (name, alloc_mb) ]
+
+let macro () =
+  header "Macro benchmarks: full protocol runs (wall clock + allocation)";
+  macro_results := [];
+  alloc_results := [];
+  let spec seed n_relays = { Protocols.Runenv.Spec.default with seed; n_relays } in
+  (* Figure 10's largest completing configuration. *)
+  macro_run "e2e-ours-8k-relays" ~protocol:E.Ours
+    ~env:(Protocols.Runenv.of_spec (spec "macro-bench" 8000));
+  (* One step beyond: the relay count where the current protocol starts
+     failing in the paper. *)
+  macro_run "e2e-ours-10k-relays" ~protocol:E.Ours
+    ~env:(Protocols.Runenv.of_spec (spec "macro-bench" 10_000));
+  (* The paper's headline scenario: the current v3 protocol with five
+     authorities knocked out by DDoS.  The flood stretches the NIC rate
+     schedules and forces the retry storm — the worst case for the
+     event core. *)
+  macro_run "e2e-current-8k-ddos" ~protocol:E.Current
+    ~env:
+      (Protocols.Runenv.of_spec
+         {
+           (spec "macro-bench" 8000) with
+           attacks = Attack.Ddos.bandwidth_attack ~n:9 ();
+         })
 
 (* --- JSON report ----------------------------------------------------------- *)
 
@@ -365,6 +407,7 @@ let emit_json path =
   let secs (k, v) = (k, Printf.sprintf "%.6f" v) in
   section "micro_ns_per_run" (List.map ns !micro_results) ~last:false;
   section "macro_wall_s" (List.map secs !macro_results) ~last:false;
+  section "alloc_mb_per_run" (List.map secs !alloc_results) ~last:false;
   section "target_wall_s" (List.map secs (List.rev !target_times)) ~last:true;
   Buffer.add_string buf "}\n";
   let oc = open_out path in

@@ -76,6 +76,18 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
   Runenv.apply_attacks env net;
   let now () = Sim.Engine.now engine in
   let log ?node level fmt = Sim.Trace.logf trace ~time:(now ()) ?node level fmt in
+  (* Message labels, interned once so per-send accounting is an array
+     add (DESIGN.md §7). *)
+  let stats = Sim.Net.stats net in
+  let lbl_document = Sim.Stats.intern stats "document" in
+  let lbl_proposal = Sim.Stats.intern stats "proposal" in
+  let lbl_agreement = Sim.Stats.intern stats "agreement" in
+  let lbl_fetch = Sim.Stats.intern stats "fetch" in
+  let lbl_fetch_reply = Sim.Stats.intern stats "fetch-reply" in
+  let lbl_cons_sig = Sim.Stats.intern stats "cons-sig" in
+  (* Authorities that hold identical vote sets share one aggregation;
+     the memo is run-local, so parallel sweep runs stay independent. *)
+  let agg_memo = Dirdoc.Aggregate.Memo.create () in
   let nodes =
     Array.init n (fun id ->
         {
@@ -93,11 +105,7 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
         })
   in
   let send ~src ~dst ~label m = Sim.Net.send net ~src ~dst ~size:(msg_size m) ~label m in
-  let broadcast ~src ~label m =
-    for dst = 0 to n - 1 do
-      if dst <> src then send ~src ~dst ~label m
-    done
-  in
+  let broadcast ~src ~label m = Sim.Net.broadcast net ~src ~size:(msg_size m) ~label m in
   (* --- dissemination ---------------------------------------------------- *)
   let docs_held node =
     Array.fold_left (fun acc d -> match d with Some _ -> acc + 1 | None -> acc) 0 node.docs
@@ -119,7 +127,7 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
         Dissemination.make_proposal env.keyring ~proposer:node.id ~digests
       in
       let leader = A.leader ~n ~view in
-      send ~src:node.id ~dst:leader ~label:"proposal" (Proposal proposal)
+      send ~src:node.id ~dst:leader ~label:lbl_proposal (Proposal proposal)
     end
   in
   (* --- aggregation ------------------------------------------------------ *)
@@ -139,7 +147,7 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
         if missing = [] then begin
           (match node.fetch_timer with
           | Some h ->
-              Sim.Engine.cancel h;
+              Sim.Engine.cancel engine h;
               node.fetch_timer <- None
           | None -> ());
           if Siground.consensus node.sig_round = None then begin
@@ -151,12 +159,15 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
                   | None -> None)
                 (List.init n Fun.id)
             in
-            let c = Dirdoc.Aggregate.consensus ~valid_after:env.valid_after ~votes in
+            let c =
+              Dirdoc.Aggregate.consensus_memo ~memo:agg_memo
+                ~valid_after:env.valid_after ~votes
+            in
             let signature = Siground.set_consensus node.sig_round ~now:(now ()) c in
             log ~node:node.id Sim.Trace.Notice
               "Aggregated %d votes into a consensus document; broadcasting signature."
               (List.length votes);
-            broadcast ~src:node.id ~label:"cons-sig"
+            broadcast ~src:node.id ~label:lbl_cons_sig
               (Cons_sig { digest = Dirdoc.Consensus.digest c; signature })
           end
         end
@@ -175,7 +186,7 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
             (List.init n Fun.id)
         in
         if missing <> [] then begin
-          broadcast ~src:node.id ~label:"fetch" (Fetch { wanted = missing });
+          broadcast ~src:node.id ~label:lbl_fetch (Fetch { wanted = missing });
           node.fetch_timer <-
             Some
               (Sim.Engine.schedule_in engine ~after:params.fetch_retry (fun () ->
@@ -209,6 +220,7 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
       {
         A.now;
         schedule = (fun after fn -> Sim.Engine.schedule_in engine ~after fn);
+        cancel = (fun h -> Sim.Engine.cancel engine h);
         send =
           (fun ~dst m ->
             if dst = node.id then
@@ -218,7 +230,7 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
                      match node.hotstuff with
                      | Some hs -> A.handle hs ~src:node.id m
                      | None -> ()))
-            else send ~src:node.id ~dst ~label:"agreement" (Agreement m));
+            else send ~src:node.id ~dst ~label:lbl_agreement (Agreement m));
         validate = (fun v -> Dissemination.validate env.keyring ~n ~f v);
         value_digest = Dissemination.value_digest;
         proposal = (fun () -> Dissemination.Collector.build node.collector);
@@ -261,7 +273,7 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
               (fun j ->
                 match (node.docs.(j), node.doc_sigs.(j)) with
                 | Some doc, Some signature ->
-                    send ~src:dst ~dst:src ~label:"fetch-reply"
+                    send ~src:dst ~dst:src ~label:lbl_fetch_reply
                       (Fetch_reply { doc; signature })
                 | _ -> ())
               wanted
@@ -283,7 +295,7 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
                  in
                  node.docs.(id) <- Some doc;
                  node.doc_sigs.(id) <- Some signature;
-                 broadcast ~src:id ~label:"document" (Document { doc; signature })
+                 broadcast ~src:id ~label:lbl_document (Document { doc; signature })
              | Runenv.Equivocating ->
                  (* Conflicting documents to even/odd peers. *)
                  let doc = env.votes.(id) in
@@ -308,7 +320,7 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
                        Dissemination.sign_document env.keyring ~sender:id
                          (Dirdoc.Vote.digest d)
                      in
-                     send ~src:id ~dst ~label:"document" (Document { doc = d; signature })
+                     send ~src:id ~dst ~label:lbl_document (Document { doc = d; signature })
                    end
                  done);
              if env.behaviors.(id) <> Runenv.Silent then begin

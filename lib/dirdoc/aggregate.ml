@@ -116,7 +116,7 @@ let popular_prefix ~compare a k =
    fixed scratch arrays (at most one listing per vote) and aggregates
    them in place — no table, no ref-lists, no per-property rescans of
    a list. *)
-let consensus ~valid_after ~votes =
+let compute_consensus ~valid_after ~votes =
   let seen = Hashtbl.create 16 in
   List.iter
     (fun (v : Vote.t) ->
@@ -246,3 +246,34 @@ let consensus ~valid_after ~votes =
          the accumulator hands [Consensus.create] a sorted list and its
          sort check short-circuits. *)
       Consensus.create ~valid_after ~n_votes ~entries:(List.rev !entries)
+
+(* Aggregation is a pure function of the vote SET and [valid_after]
+   (the result is order-independent), so simulated authorities holding
+   identical vote sets can share one computation.  The memo key is the
+   sorted vote digests — content-addressed, so it cannot confuse
+   distinct inputs — plus [valid_after].  A memo is scoped to one run
+   (each run constructs its own), keeping parallel sweeps as
+   deterministic as the unmemoized code. *)
+module Memo = struct
+  type t = (string, Consensus.t) Hashtbl.t
+
+  let create () = Hashtbl.create 8
+end
+
+let memo_key ~valid_after ~votes =
+  let digests =
+    List.sort String.compare
+      (List.map (fun (v : Vote.t) -> Crypto.Digest32.raw v.Vote.digest) votes)
+  in
+  Printf.sprintf "%h|%s" valid_after (String.concat "" digests)
+
+let consensus ~valid_after ~votes = compute_consensus ~valid_after ~votes
+
+let consensus_memo ~memo ~valid_after ~votes =
+  let key = memo_key ~valid_after ~votes in
+  match Hashtbl.find_opt memo key with
+  | Some c -> c
+  | None ->
+      let c = compute_consensus ~valid_after ~votes in
+      Hashtbl.replace memo key c;
+      c

@@ -29,7 +29,22 @@ val aggregate_relay : (int * Relay.t) list -> Consensus.entry
     votes that listed it ([(authority_id, entry)] pairs).  Raises
     [Invalid_argument] on an empty list or mismatched fingerprints. *)
 
+module Memo : sig
+  type t
+  (** A cache of aggregation results, keyed by the (content-addressed)
+      set of vote digests and [valid_after].  Scope one memo to one
+      simulation run: authorities that aggregate the same vote set then
+      share a single computation without any cross-run state. *)
+
+  val create : unit -> t
+end
+
 val consensus : valid_after:float -> votes:Vote.t list -> Consensus.t
 (** Aggregate whole votes into a consensus document.  Votes must come
     from distinct authorities.  The result is independent of the order
     of [votes]. *)
+
+val consensus_memo : memo:Memo.t -> valid_after:float -> votes:Vote.t list -> Consensus.t
+(** {!consensus} through a cache: a repeated (vote set, [valid_after])
+    input returns the previously computed document instead of
+    re-running the merge. *)

@@ -13,6 +13,7 @@ module type S = sig
   type 'v callbacks = {
     now : unit -> Tor_sim.Simtime.t;
     schedule : Tor_sim.Simtime.t -> (unit -> unit) -> Tor_sim.Engine.handle;
+    cancel : Tor_sim.Engine.handle -> unit;
     send : dst:int -> 'v msg -> unit;
     validate : 'v -> bool;
     value_digest : 'v -> Crypto.Digest32.t;

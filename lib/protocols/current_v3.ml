@@ -52,13 +52,27 @@ let run (env : Runenv.t) =
   in
   let now () = Sim.Engine.now engine in
   let log ?node level fmt = Sim.Trace.logf trace ~time:(now ()) ?node level fmt in
+  (* Message labels, interned once so per-send accounting is an array
+     add (DESIGN.md Â§7). *)
+  let stats = Sim.Net.stats net in
+  let lbl_vote = Sim.Stats.intern stats "vote" in
+  let lbl_vote_request = Sim.Stats.intern stats "vote-request" in
+  let lbl_vote_fetch = Sim.Stats.intern stats "vote-fetch" in
+  let lbl_sig = Sim.Stats.intern stats "sig" in
+  let lbl_sig_request = Sim.Stats.intern stats "sig-request" in
+  let lbl_sig_fetch = Sim.Stats.intern stats "sig-fetch" in
+  (* Hoisted so the hot send path does not rebuild the option. *)
+  let dir_deadline = Some Wire.dir_connection_timeout in
+  (* Authorities holding identical vote sets share one aggregation;
+     run-local, so parallel sweep runs stay independent. *)
+  let agg_memo = Dirdoc.Aggregate.Memo.create () in
   let send ~src ~dst ~label m =
     (* Vote-sized transfers ride Tor's directory connections and give
        up after the client timeout; control messages are too small to
        stall. *)
     let deadline =
       match m with
-      | Vote_push _ | Vote_reply _ -> Some Wire.dir_connection_timeout
+      | Vote_push _ | Vote_reply _ -> dir_deadline
       | Vote_request _ | Sig_push _ | Sig_request -> None
     in
     Sim.Net.send net ~src ~dst ~size:(msg_size m) ~label ?deadline m
@@ -86,14 +100,14 @@ let run (env : Runenv.t) =
             List.iter
               (fun j ->
                 match node.votes.(j) with
-                | Some v -> send ~src:dst ~dst:src ~label:"vote-fetch" (Vote_reply v)
+                | Some v -> send ~src:dst ~dst:src ~label:lbl_vote_fetch (Vote_reply v)
                 | None -> ())
               wanted
         | Sig_push { digest; signature } -> store_sig node ~digest ~signature
         | Sig_request -> (
             match (Siground.consensus node.sig_round, Siground.my_signature node.sig_round) with
             | Some c, Some signature ->
-                send ~src:dst ~dst:src ~label:"sig-fetch"
+                send ~src:dst ~dst:src ~label:lbl_sig_fetch
                   (Sig_push { digest = Dirdoc.Consensus.digest c; signature })
             | _ -> ()));
   (* Behaviour helpers -------------------------------------------------- *)
@@ -120,7 +134,7 @@ let run (env : Runenv.t) =
                  log ~node:id Sim.Trace.Notice "Time to vote.";
                  for dst = 0 to n - 1 do
                    if dst <> id then
-                     send ~src:id ~dst ~label:"vote" (Vote_push env.votes.(id))
+                     send ~src:id ~dst ~label:lbl_vote (Vote_push env.votes.(id))
                  done
              | Runenv.Equivocating ->
                  node.votes.(id) <- Some env.votes.(id);
@@ -128,7 +142,7 @@ let run (env : Runenv.t) =
                  for dst = 0 to n - 1 do
                    if dst <> id then
                      let v = if dst land 1 = 0 then env.votes.(id) else variant in
-                     send ~src:id ~dst ~label:"vote" (Vote_push v)
+                     send ~src:id ~dst ~label:lbl_vote (Vote_push v)
                  done)))
     nodes;
   (* Round 2: fetch missing votes (with one mid-round retry). ------------ *)
@@ -152,7 +166,7 @@ let run (env : Runenv.t) =
         node.replied <- Array.make n false;
         for dst = 0 to n - 1 do
           if dst <> node.id then
-            send ~src:node.id ~dst ~label:"vote-request" (Vote_request { wanted = missing })
+            send ~src:node.id ~dst ~label:lbl_vote_request (Vote_request { wanted = missing })
         done;
         ignore
           (Sim.Engine.schedule_in engine ~after:fetch_timeout (fun () ->
@@ -196,11 +210,14 @@ let run (env : Runenv.t) =
                    "We don't have enough votes to generate a consensus: %d of %d"
                    (List.length held) need
                else begin
-                 let c = Dirdoc.Aggregate.consensus ~valid_after:env.valid_after ~votes:held in
+                 let c =
+                   Dirdoc.Aggregate.consensus_memo ~memo:agg_memo
+                     ~valid_after:env.valid_after ~votes:held
+                 in
                  let signature = Siground.set_consensus node.sig_round ~now:(now ()) c in
                  for dst = 0 to n - 1 do
                    if dst <> node.id then
-                     send ~src:node.id ~dst ~label:"sig"
+                     send ~src:node.id ~dst ~label:lbl_sig
                        (Sig_push { digest = Dirdoc.Consensus.digest c; signature })
                  done
                end
@@ -217,7 +234,7 @@ let run (env : Runenv.t) =
              then
                for dst = 0 to n - 1 do
                  if dst <> node.id then
-                   send ~src:node.id ~dst ~label:"sig-request" Sig_request
+                   send ~src:node.id ~dst ~label:lbl_sig_request Sig_request
                done)))
     nodes;
   Sim.Engine.run ~until:(Float.min env.horizon (4. *. round_seconds)) engine;

@@ -23,6 +23,7 @@ type 'v msg =
 type 'v callbacks = {
   now : unit -> Sim.Simtime.t;
   schedule : Sim.Simtime.t -> (unit -> unit) -> Sim.Engine.handle;
+  cancel : Sim.Engine.handle -> unit;
   send : dst:int -> 'v msg -> unit;
   validate : 'v -> bool;
   value_digest : 'v -> Digest32.t;
@@ -145,7 +146,7 @@ let update_high_qc t (qc : qc) value =
 let rec enter_view t view =
   if view > t.view && t.decided = None then begin
     t.view <- view;
-    Option.iter Sim.Engine.cancel t.timer;
+    Option.iter t.cb.cancel t.timer;
     t.timer <- Some (t.cb.schedule t.view_timeout (fun () -> on_timer t));
     t.cb.log (Printf.sprintf "entering view %d (leader %d)" view (leader_of t view));
     t.cb.on_view ~view;
@@ -206,7 +207,7 @@ let decide_once t ~view value qc =
   if t.decided = None then begin
     t.decided <- Some value;
     t.decided_qc <- Some qc;
-    Option.iter Sim.Engine.cancel t.timer;
+    Option.iter t.cb.cancel t.timer;
     t.timer <- None;
     t.cb.log (Printf.sprintf "decided in view %d" view);
     t.cb.decide ~view value

@@ -58,6 +58,8 @@ type 'v callbacks = {
   now : unit -> Tor_sim.Simtime.t;
   schedule : Tor_sim.Simtime.t -> (unit -> unit) -> Tor_sim.Engine.handle;
       (** [schedule delay f] — relative delay *)
+  cancel : Tor_sim.Engine.handle -> unit;
+      (** cancel a pending timer from {!schedule} *)
   send : dst:int -> 'v msg -> unit;
       (** unicast; [dst] may equal the node itself *)
   validate : 'v -> bool;  (** external validity (Section 5.2.1 proofs) *)

@@ -23,6 +23,7 @@ type 'v msg =
 type 'v callbacks = {
   now : unit -> Sim.Simtime.t;
   schedule : Sim.Simtime.t -> (unit -> unit) -> Sim.Engine.handle;
+  cancel : Sim.Engine.handle -> unit;
   send : dst:int -> 'v msg -> unit;
   validate : 'v -> bool;
   value_digest : 'v -> Digest32.t;
@@ -138,7 +139,7 @@ let sigs_of per = Hashtbl.fold (fun _ s acc -> s :: acc) per []
 (* --- state machine --------------------------------------------------------------- *)
 
 let rec arm_timer t =
-  Option.iter Sim.Engine.cancel t.timer;
+  Option.iter t.cb.cancel t.timer;
   t.timer <- Some (t.cb.schedule t.view_timeout (fun () -> on_timeout t))
 
 and on_timeout t =
@@ -306,7 +307,7 @@ and on_view_change t ~src ~view ~certificate ~signature =
 and decide_once t ~view value commits =
   if t.decided = None then begin
     t.decided <- Some value;
-    Option.iter Sim.Engine.cancel t.timer;
+    Option.iter t.cb.cancel t.timer;
     t.timer <- None;
     let msg = Decision { view; value; commits } in
     t.decision_msg <- Some msg;

@@ -76,10 +76,20 @@ let run (env : Runenv.t) =
   in
   let now () = Sim.Engine.now engine in
   let log ?node level fmt = Sim.Trace.logf trace ~time:(now ()) ?node level fmt in
+  (* Message labels, interned once so per-send accounting is an array
+     add (DESIGN.md Â§7). *)
+  let stats = Sim.Net.stats net in
+  let lbl_ds_vote = Sim.Stats.intern stats "ds-vote" in
+  let lbl_ds_echo = Sim.Stats.intern stats "ds-echo" in
+  let lbl_sig = Sim.Stats.intern stats "sig" in
+  let lbl_sig_request = Sim.Stats.intern stats "sig-request" in
+  let lbl_sig_fetch = Sim.Stats.intern stats "sig-fetch" in
+  let dir_deadline = Some Wire.dir_connection_timeout in
+  let agg_memo = Dirdoc.Aggregate.Memo.create () in
   let send ~src ~dst ~label m =
     let deadline =
       match m with
-      | Ds_vote _ -> Some Wire.dir_connection_timeout
+      | Ds_vote _ -> dir_deadline
       | Sig_push _ | Sig_request -> None
     in
     Sim.Net.send net ~src ~dst ~size:(msg_size m) ~label ?deadline m
@@ -121,7 +131,7 @@ let run (env : Runenv.t) =
         let own =
           Signature.sign env.keyring ~signer:node.id (chain_payload ~origin digest)
         in
-        broadcast ~src:node.id ~label:"ds-echo"
+        broadcast ~src:node.id ~label:lbl_ds_echo
           (Ds_vote { origin; vote; chain = chain @ [ own ] })
       end
     end
@@ -138,7 +148,7 @@ let run (env : Runenv.t) =
         | Sig_request -> (
             match (Siground.consensus node.sig_round, Siground.my_signature node.sig_round) with
             | Some c, Some signature ->
-                send ~src:dst ~dst:src ~label:"sig-fetch"
+                send ~src:dst ~dst:src ~label:lbl_sig_fetch
                   (Sig_push { digest = Dirdoc.Consensus.digest c; signature })
             | _ -> ()));
   (* Round 1-2: Dolev-Strong broadcast of every vote. -------------------- *)
@@ -156,7 +166,7 @@ let run (env : Runenv.t) =
                  let own =
                    Signature.sign env.keyring ~signer:id (chain_payload ~origin:id digest)
                  in
-                 broadcast ~src:id ~label:"ds-vote"
+                 broadcast ~src:id ~label:lbl_ds_vote
                    (Ds_vote { origin = id; vote = env.votes.(id); chain = [ own ] })
              | Runenv.Equivocating ->
                  node.accepted.(id) <- Some env.votes.(id);
@@ -178,7 +188,7 @@ let run (env : Runenv.t) =
                        Signature.sign env.keyring ~signer:id
                          (chain_payload ~origin:id digest)
                      in
-                     send ~src:id ~dst ~label:"ds-vote"
+                     send ~src:id ~dst ~label:lbl_ds_vote
                        (Ds_vote { origin = id; vote; chain = [ own ] })
                    end
                  done)))
@@ -200,9 +210,12 @@ let run (env : Runenv.t) =
                    "We don't have enough votes to generate a consensus: %d of %d"
                    (List.length held) need
                else begin
-                 let c = Dirdoc.Aggregate.consensus ~valid_after:env.valid_after ~votes:held in
+                 let c =
+                   Dirdoc.Aggregate.consensus_memo ~memo:agg_memo
+                     ~valid_after:env.valid_after ~votes:held
+                 in
                  let signature = Siground.set_consensus node.sig_round ~now:(now ()) c in
-                 broadcast ~src:node.id ~label:"sig"
+                 broadcast ~src:node.id ~label:lbl_sig
                    (Sig_push { digest = Dirdoc.Consensus.digest c; signature })
                end
              end)))
@@ -215,7 +228,7 @@ let run (env : Runenv.t) =
              if env.behaviors.(node.id) <> Runenv.Silent
                 && Siground.consensus node.sig_round <> None
                 && Siground.count node.sig_round < need
-             then broadcast ~src:node.id ~label:"sig-request" Sig_request)))
+             then broadcast ~src:node.id ~label:lbl_sig_request Sig_request)))
     nodes;
   Sim.Engine.run ~until:(Float.min env.horizon (4. *. round_seconds)) engine;
   let per_authority =

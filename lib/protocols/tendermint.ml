@@ -15,6 +15,7 @@ type 'v msg =
 type 'v callbacks = {
   now : unit -> Sim.Simtime.t;
   schedule : Sim.Simtime.t -> (unit -> unit) -> Sim.Engine.handle;
+  cancel : Sim.Engine.handle -> unit;
   send : dst:int -> 'v msg -> unit;
   validate : 'v -> bool;
   value_digest : 'v -> Digest32.t;
@@ -161,7 +162,7 @@ let quorum_digest t votes round =
 (* --- state machine ----------------------------------------------------------- *)
 
 let rec arm_timer t =
-  Option.iter Sim.Engine.cancel t.timer;
+  Option.iter t.cb.cancel t.timer;
   t.timer <- Some (t.cb.schedule t.view_timeout (fun () -> on_timeout t))
 
 and on_timeout t =
@@ -253,7 +254,7 @@ and maybe_prevote t =
 and decide_once t ~round value precommit_sigs =
   if t.decided = None then begin
     t.decided <- Some value;
-    Option.iter Sim.Engine.cancel t.timer;
+    Option.iter t.cb.cancel t.timer;
     t.timer <- None;
     let msg = Decided { round; value; precommits = precommit_sigs } in
     t.decided_broadcast <- Some msg;

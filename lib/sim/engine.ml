@@ -1,36 +1,156 @@
-type handle = { mutable cancelled : bool; action : unit -> unit }
+(* Pooled event cells.  [schedule] used to allocate a fresh
+   record-plus-closure per event; the hot paths (Net's per-message
+   chains) now run through reusable cells drawn from a free list, and
+   an event is identified in the queue by its cell index — an immediate
+   int, so the queue payload array holds no pointers.
 
-type t = { mutable clock : Simtime.t; queue : handle Event_queue.t }
+   A handle packs (generation, cell index) into one int.  The
+   generation counts how many times the cell has been recycled; a
+   handle whose generation no longer matches its cell is stale (the
+   event already fired or was cancelled and the cell reused), so
+   [cancel] on it is a safe O(1) no-op.  Cell indices fit 24 bits
+   (16.7M outstanding events), generations use the remaining bits and
+   cannot overflow in practice (2^38 recycles of one cell). *)
 
-let create () = { clock = Simtime.zero; queue = Event_queue.create () }
+let idx_bits = 24
+let idx_mask = (1 lsl idx_bits) - 1
+
+type cell = {
+  mutable time : Simtime.t;
+  mutable gen : int;
+  mutable state : int; (* 0 free, 1 scheduled, 2 cancelled *)
+  mutable kind : int; (* -1: run [action]; >= 0: registered callback id *)
+  mutable arg : int;
+  mutable action : unit -> unit;
+  mutable next_free : int; (* free-list link, -1 ends the list *)
+}
+
+let st_free = 0
+let st_scheduled = 1
+let st_cancelled = 2
+let nop () = ()
+
+type handle = int
+type callback = int
+
+type t = {
+  mutable clock : Simtime.t;
+  queue : int Event_queue.t;
+  mutable cells : cell array;
+  mutable n_cells : int;
+  mutable free_head : int;
+  mutable callbacks : (int -> unit) array;
+  mutable n_callbacks : int;
+}
+
+let create () =
+  {
+    clock = Simtime.zero;
+    queue = Event_queue.create ();
+    cells = [||];
+    n_cells = 0;
+    free_head = -1;
+    callbacks = [||];
+    n_callbacks = 0;
+  }
 
 let now t = t.clock
 
-let schedule t ~at action =
+let register_callback t f =
+  if t.n_callbacks = Array.length t.callbacks then begin
+    let fresh = Array.make (max 4 (2 * t.n_callbacks)) f in
+    Array.blit t.callbacks 0 fresh 0 t.n_callbacks;
+    t.callbacks <- fresh
+  end;
+  t.callbacks.(t.n_callbacks) <- f;
+  t.n_callbacks <- t.n_callbacks + 1;
+  t.n_callbacks - 1
+
+(* Take a cell off the free list, allocating one only at a new
+   high-water mark of outstanding events. *)
+let acquire t =
+  if t.free_head >= 0 then begin
+    let idx = t.free_head in
+    t.free_head <- t.cells.(idx).next_free;
+    idx
+  end
+  else begin
+    if t.n_cells = Array.length t.cells then begin
+      let dummy =
+        { time = 0.; gen = 0; state = st_free; kind = -1; arg = 0; action = nop; next_free = -1 }
+      in
+      let fresh = Array.make (max 16 (2 * t.n_cells)) dummy in
+      Array.blit t.cells 0 fresh 0 t.n_cells;
+      t.cells <- fresh
+    end;
+    let idx = t.n_cells in
+    if idx > idx_mask then failwith "Engine: event pool exhausted";
+    t.cells.(idx) <-
+      { time = 0.; gen = 0; state = st_free; kind = -1; arg = 0; action = nop; next_free = -1 };
+    t.n_cells <- t.n_cells + 1;
+    idx
+  end
+
+let release t idx =
+  let cell = t.cells.(idx) in
+  cell.gen <- cell.gen + 1;
+  cell.state <- st_free;
+  cell.action <- nop;
+  cell.next_free <- t.free_head;
+  t.free_head <- idx
+
+let enqueue t ~at ~kind ~arg action =
   if at < t.clock then invalid_arg "Engine.schedule: time is in the past";
-  let h = { cancelled = false; action } in
-  Event_queue.push t.queue ~time:at h;
-  h
+  let idx = acquire t in
+  let cell = t.cells.(idx) in
+  cell.time <- at;
+  cell.state <- st_scheduled;
+  cell.kind <- kind;
+  cell.arg <- arg;
+  cell.action <- action;
+  (match Event_queue.push t.queue ~time:at idx with
+  | () -> ()
+  | exception e ->
+      release t idx;
+      raise e);
+  (cell.gen lsl idx_bits) lor idx
+
+let schedule t ~at action = enqueue t ~at ~kind:(-1) ~arg:0 action
 
 let schedule_in t ~after action =
   if after < 0. then invalid_arg "Engine.schedule_in: negative delay";
   schedule t ~at:(Simtime.add t.clock after) action
 
-let cancel h = h.cancelled <- true
+let schedule_call t ~at callback arg = enqueue t ~at ~kind:callback ~arg nop
+
+let cancel t h =
+  let idx = h land idx_mask in
+  if idx < t.n_cells then begin
+    let cell = t.cells.(idx) in
+    if cell.gen = h lsr idx_bits && cell.state = st_scheduled then
+      cell.state <- st_cancelled
+  end
 
 let run ?until t =
   let horizon = Option.value until ~default:Simtime.never in
   let rec loop () =
-    match Event_queue.peek_time t.queue with
-    | None -> ()
-    | Some time when time > horizon -> ()
-    | Some _ ->
-        (match Event_queue.pop t.queue with
-        | None -> ()
-        | Some (time, h) ->
-            t.clock <- time;
-            if not h.cancelled then h.action ());
-        loop ()
+    let idx = Event_queue.pop_if_before t.queue ~horizon ~default:(-1) in
+    if idx >= 0 then begin
+      let cell = t.cells.(idx) in
+      (* A cancelled event still advances the clock to its slot, like
+         any popped event. *)
+      t.clock <- cell.time;
+      let state = cell.state and kind = cell.kind and arg = cell.arg in
+      let action = cell.action in
+      (* Release before dispatch: the cell may be reacquired by events
+         the dispatched code schedules, and the generation bump makes
+         any handle still pointing here stale — cancelling a fired
+         event stays a no-op. *)
+      release t idx;
+      if state = st_scheduled then
+        if kind >= 0 then t.callbacks.(kind) arg else action ();
+      loop ()
+    end
   in
   loop ();
   match until with

@@ -1,13 +1,26 @@
 (** Discrete-event simulation engine.
 
-    The engine owns the clock and a queue of scheduled thunks.
+    The engine owns the clock and a queue of scheduled events.
     Protocols never read wall-clock time; everything observable happens
-    inside a scheduled event, which makes runs deterministic. *)
+    inside a scheduled event, which makes runs deterministic.
+
+    Events live in a pool of reusable cells (DESIGN.md §7): scheduling
+    in steady state allocates nothing, and a {!handle} is an immediate
+    int carrying the cell's generation, so {!cancel} is O(1) and safe
+    against cell reuse.  Hot paths that would otherwise allocate a
+    closure per event can {!register_callback} once and schedule
+    [(callback, int)] pairs via {!schedule_call}. *)
 
 type t
 
 type handle
-(** A scheduled event that can still be cancelled. *)
+(** A scheduled event that can still be cancelled.  Stale handles
+    (fired, cancelled, or from another engine's recycled cell) are
+    detected by generation and ignored. *)
+
+type callback
+(** A typed continuation registered once with the engine; scheduling it
+    stores only an [int] argument, no closure. *)
 
 val create : unit -> t
 
@@ -21,7 +34,18 @@ val schedule : t -> at:Simtime.t -> (unit -> unit) -> handle
 val schedule_in : t -> after:Simtime.t -> (unit -> unit) -> handle
 (** [schedule_in t ~after f] runs [f] after a relative delay. *)
 
-val cancel : handle -> unit
+val register_callback : t -> (int -> unit) -> callback
+(** Register a continuation for {!schedule_call}.  Meant to be called
+    a handful of times at setup (e.g. once per network); the closure is
+    shared by every event scheduled against it. *)
+
+val schedule_call : t -> at:Simtime.t -> callback -> int -> handle
+(** [schedule_call t ~at cb arg] runs the registered continuation [cb]
+    with [arg] at time [at] — the allocation-free counterpart of
+    {!schedule} for pooled payloads addressed by index.  Raises
+    [Invalid_argument] if [at] is in the past. *)
+
+val cancel : t -> handle -> unit
 (** Cancel a pending event; cancelling a fired or already-cancelled
     event is a no-op. *)
 

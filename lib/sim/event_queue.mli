@@ -1,7 +1,14 @@
 (** Binary-heap priority queue of timestamped events.
 
     Events at equal times pop in insertion order (the sequence number
-    breaks ties), which keeps the simulation deterministic. *)
+    breaks ties), which keeps the simulation deterministic.
+
+    The heap is laid out struct-of-arrays: the [(time, seq)] ordering
+    key lives in an unboxed [float array] plus an [int array], so sift
+    comparisons never dereference a boxed per-entry record; payloads
+    ride in a parallel array untouched by comparisons.  Pushing
+    allocates nothing once the arrays have grown to the high-water
+    mark. *)
 
 type 'a t
 
@@ -14,6 +21,15 @@ val push : 'a t -> time:Simtime.t -> 'a -> unit
 val pop : 'a t -> (Simtime.t * 'a) option
 (** Remove and return the earliest event, insertion-ordered within
     equal times. *)
+
+val pop_if_before : 'a t -> horizon:Simtime.t -> default:'a -> 'a
+(** [pop_if_before q ~horizon ~default] pops and returns the earliest
+    payload iff its time is at or before [horizon]; otherwise returns
+    [default] and leaves the queue untouched.  A single operation
+    replacing the peek-then-pop pattern, and — unlike {!pop} — free of
+    allocation, so callers whose payloads carry their own timestamps
+    (or that pick an out-of-band [default]) can drain the queue without
+    producing garbage. *)
 
 val peek_time : 'a t -> Simtime.t option
 (** Time of the earliest event without removing it. *)

@@ -1,20 +1,38 @@
+(* Every message in flight is a slot in a struct-of-arrays pool, and
+   the whole egress→arrival→finish chain runs through ONE engine
+   callback (the trampoline): each event is (callback, flight index),
+   so a send allocates no closures — the old implementation allocated
+   up to three nested ones per message.  A flight's [stage] tells the
+   trampoline what the next step is; slots recycle through a free list
+   and only grow at a new high-water mark of concurrently in-flight
+   messages.  A recycled slot keeps its last payload until reuse — the
+   payloads are the simulation's own documents, alive elsewhere, so
+   nothing leaks beyond the run. *)
+
+let stage_self = 0 (* deliver locally, no bandwidth cost *)
+let stage_arrival = 1 (* reserve ingress on the receiver's NIC *)
+let stage_finish = 2 (* ingress done: deliver *)
+let stage_finish_expired = 3 (* ingress done but past the deadline: drop *)
+
 type 'm t = {
   engine : Engine.t;
   topology : Topology.t;
   nics : Nic.t array; (* one shared NIC per node: egress and ingress *)
   stats : Stats.t;
   mutable handler : (dst:int -> src:int -> 'm -> unit) option;
+  mutable trampoline : Engine.callback option;
+  (* flight pool, struct-of-arrays *)
+  mutable fl_msg : 'm array;
+  mutable fl_src : int array;
+  mutable fl_dst : int array;
+  mutable fl_size : int array;
+  mutable fl_stage : int array;
+  mutable fl_sent_at : float array;
+  mutable fl_deadline : float array; (* nan: no deadline *)
+  mutable fl_next : int array; (* free-list links *)
+  mutable fl_len : int;
+  mutable fl_free : int;
 }
-
-let create ~engine ~topology ~bits_per_sec () =
-  let n = Topology.n topology in
-  {
-    engine;
-    topology;
-    nics = Array.init n (fun _ -> Nic.create ~bits_per_sec ());
-    stats = Stats.create ~n;
-    handler = None;
-  }
 
 let n t = Topology.n t.topology
 let engine t = t.engine
@@ -34,41 +52,157 @@ let deliver t ~dst ~src msg =
   | None -> failwith "Net.deliver: no handler installed"
   | Some f -> f ~dst ~src msg
 
+let alloc_flight t msg =
+  if t.fl_free < 0 then begin
+    (* grow the pool, seeding fresh slots with the message at hand *)
+    let cap = Array.length t.fl_src in
+    let fresh = max 16 (2 * cap) in
+    let grow_int a = let b = Array.make fresh 0 in Array.blit a 0 b 0 t.fl_len; b in
+    let grow_float a = let b = Array.make fresh nan in Array.blit a 0 b 0 t.fl_len; b in
+    let msgs = Array.make fresh msg in
+    Array.blit t.fl_msg 0 msgs 0 t.fl_len;
+    t.fl_msg <- msgs;
+    t.fl_src <- grow_int t.fl_src;
+    t.fl_dst <- grow_int t.fl_dst;
+    t.fl_size <- grow_int t.fl_size;
+    t.fl_stage <- grow_int t.fl_stage;
+    t.fl_sent_at <- grow_float t.fl_sent_at;
+    t.fl_deadline <- grow_float t.fl_deadline;
+    t.fl_next <- grow_int t.fl_next;
+    for i = cap to fresh - 1 do
+      t.fl_next.(i) <- (if i + 1 < fresh then i + 1 else -1)
+    done;
+    t.fl_free <- cap;
+    t.fl_len <- fresh
+  end;
+  let fl = t.fl_free in
+  t.fl_free <- t.fl_next.(fl);
+  t.fl_msg.(fl) <- msg;
+  fl
+
+let release_flight t fl =
+  t.fl_next.(fl) <- t.fl_free;
+  t.fl_free <- fl
+
+let trampoline t fl =
+  let stage = t.fl_stage.(fl) in
+  if stage = stage_self then begin
+    let src = t.fl_src.(fl) and dst = t.fl_dst.(fl) and msg = t.fl_msg.(fl) in
+    release_flight t fl;
+    deliver t ~dst ~src msg
+  end
+  else if stage = stage_arrival then begin
+    let dst = t.fl_dst.(fl) and size = t.fl_size.(fl) in
+    let arrival = Engine.now t.engine in
+    (* Reserve the receiver's NIC at arrival, so ingress reservations
+       happen in arrival order, not send order. *)
+    let finish = Nic.reserve t.nics.(dst) ~now:arrival ~bytes:size in
+    if Simtime.is_infinite finish then begin
+      Stats.record_dropped t.stats;
+      release_flight t fl
+    end
+    else begin
+      let deadline = t.fl_deadline.(fl) in
+      let expired =
+        (not (Float.is_nan deadline)) && finish -. t.fl_sent_at.(fl) > deadline
+      in
+      t.fl_stage.(fl) <- (if expired then stage_finish_expired else stage_finish);
+      match t.trampoline with
+      | Some cb -> ignore (Engine.schedule_call t.engine ~at:finish cb fl)
+      | None -> assert false
+    end
+  end
+  else begin
+    (* stage_finish / stage_finish_expired *)
+    Stats.record_received t.stats ~node:t.fl_dst.(fl) ~bytes:t.fl_size.(fl);
+    if stage = stage_finish_expired then begin
+      Stats.record_dropped t.stats;
+      release_flight t fl
+    end
+    else begin
+      let src = t.fl_src.(fl) and dst = t.fl_dst.(fl) and msg = t.fl_msg.(fl) in
+      release_flight t fl;
+      deliver t ~dst ~src msg
+    end
+  end
+
+let create ~engine ~topology ~bits_per_sec () =
+  let n = Topology.n topology in
+  let t =
+    {
+      engine;
+      topology;
+      nics = Array.init n (fun _ -> Nic.create ~bits_per_sec ());
+      stats = Stats.create ~n;
+      handler = None;
+      trampoline = None;
+      fl_msg = [||];
+      fl_src = [||];
+      fl_dst = [||];
+      fl_size = [||];
+      fl_stage = [||];
+      fl_sent_at = [||];
+      fl_deadline = [||];
+      fl_next = [||];
+      fl_len = 0;
+      fl_free = -1;
+    }
+  in
+  t.trampoline <- Some (Engine.register_callback engine (fun fl -> trampoline t fl));
+  t
+
+let the_trampoline t =
+  match t.trampoline with Some cb -> cb | None -> assert false
+
+(* Internal send with sentinel-encoded optionals: [label] is an
+   interned id or [Stats.no_label], [deadline] is NaN for none.  The
+   caller has validated the node ids. *)
+let send_msg t ~src ~dst ~size ~label ~deadline msg =
+  let now = Engine.now t.engine in
+  if src = dst then begin
+    (* Local delivery: no bandwidth cost, but still asynchronous so
+       handlers never reenter the caller. *)
+    let fl = alloc_flight t msg in
+    t.fl_src.(fl) <- src;
+    t.fl_dst.(fl) <- dst;
+    t.fl_stage.(fl) <- stage_self;
+    ignore (Engine.schedule_call t.engine ~at:now (the_trampoline t) fl)
+  end
+  else begin
+    Stats.record_send t.stats ~node:src ~bytes:size ~label;
+    let egress_done = Nic.reserve t.nics.(src) ~now ~bytes:size in
+    if Simtime.is_infinite egress_done then Stats.record_dropped t.stats
+    else begin
+      let arrival = Simtime.add egress_done (Topology.latency t.topology ~src ~dst) in
+      let fl = alloc_flight t msg in
+      t.fl_src.(fl) <- src;
+      t.fl_dst.(fl) <- dst;
+      t.fl_size.(fl) <- size;
+      t.fl_stage.(fl) <- stage_arrival;
+      t.fl_sent_at.(fl) <- now;
+      t.fl_deadline.(fl) <- deadline;
+      ignore (Engine.schedule_call t.engine ~at:arrival (the_trampoline t) fl)
+    end
+  end
+
 let send t ~src ~dst ~size ?label ?deadline msg =
   check_node t src "send";
   check_node t dst "send";
   if size < 0 then invalid_arg "Net.send: negative size";
-  let now = Engine.now t.engine in
-  if src = dst then
-    (* Local delivery: no bandwidth cost, but still asynchronous so
-       handlers never reenter the caller. *)
-    ignore (Engine.schedule t.engine ~at:now (fun () -> deliver t ~dst ~src msg))
-  else begin
-    Stats.record_sent t.stats ~node:src ~bytes:size ?label ();
-    let egress_done = Nic.reserve t.nics.(src) ~now ~bytes:size in
-    if Simtime.is_infinite egress_done then Stats.record_dropped t.stats
-    else
-      let arrival = Simtime.add egress_done (Topology.latency t.topology ~src ~dst) in
-      (* Reserve the receiver's NIC when the message arrives, so ingress
-         reservations happen in arrival order, not send order. *)
-      ignore
-        (Engine.schedule t.engine ~at:arrival (fun () ->
-             let finish = Nic.reserve t.nics.(dst) ~now:arrival ~bytes:size in
-             if Simtime.is_infinite finish then Stats.record_dropped t.stats
-             else
-               let expired =
-                 match deadline with Some d -> finish -. now > d | None -> false
-               in
-               ignore
-                 (Engine.schedule t.engine ~at:finish (fun () ->
-                      Stats.record_received t.stats ~node:dst ~bytes:size;
-                      if expired then Stats.record_dropped t.stats
-                      else deliver t ~dst ~src msg))))
-  end
+  let label = match label with None -> Stats.no_label | Some l -> l in
+  let deadline = match deadline with None -> nan | Some d -> d in
+  send_msg t ~src ~dst ~size ~label ~deadline msg
 
 let broadcast t ~src ~size ?label ?deadline msg =
+  check_node t src "broadcast";
+  if size < 0 then invalid_arg "Net.send: negative size";
+  let label = match label with None -> Stats.no_label | Some l -> l in
+  let deadline = match deadline with None -> nan | Some d -> d in
+  (* One validated pass: n-1 unicasts in ascending id order whose
+     egress reservations walk the source NIC's rate schedule once,
+     monotonically (the NIC cursor makes the batch a single sweep). *)
   for dst = 0 to n t - 1 do
-    if dst <> src then send t ~src ~dst ~size ?label ?deadline msg
+    if dst <> src then send_msg t ~src ~dst ~size ~label ~deadline msg
   done
 
 let limit_node t ~node ~start ~stop ~bits_per_sec =

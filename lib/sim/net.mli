@@ -36,20 +36,29 @@ val set_handler : 'm t -> (dst:int -> src:int -> 'm -> unit) -> unit
     fires; the last installed handler wins. *)
 
 val send :
-  'm t -> src:int -> dst:int -> size:int -> ?label:string -> ?deadline:Simtime.t -> 'm -> unit
+  'm t ->
+  src:int ->
+  dst:int ->
+  size:int ->
+  ?label:Stats.label ->
+  ?deadline:Simtime.t ->
+  'm ->
+  unit
 (** Enqueue a message.  Self-sends deliver after a scheduling tick with
-    no bandwidth cost.  [deadline] models a transport-level connection
-    timeout (Tor's directory client): if delivery would complete more
-    than [deadline] seconds after the send, the message is dropped —
-    the bytes are still charged to both NICs, as they were transmitted
-    into the flood.  Raises [Invalid_argument] on bad node ids or a
-    negative size. *)
+    no bandwidth cost.  [label] is an id interned with {!Stats.intern}
+    on this network's {!stats}.  [deadline] models a transport-level
+    connection timeout (Tor's directory client): if delivery would
+    complete more than [deadline] seconds after the send, the message
+    is dropped — the bytes are still charged to both NICs, as they were
+    transmitted into the flood.  Raises [Invalid_argument] on bad node
+    ids or a negative size. *)
 
 val broadcast :
-  'm t -> src:int -> size:int -> ?label:string -> ?deadline:Simtime.t -> 'm -> unit
+  'm t -> src:int -> size:int -> ?label:Stats.label -> ?deadline:Simtime.t -> 'm -> unit
 (** [broadcast] sends to every node except [src] (ascending id order,
     one egress reservation each, as n-1 unicasts — Tor has no
-    multicast). *)
+    multicast).  The batch's egress reservations are one monotone sweep
+    of the source NIC's rate schedule. *)
 
 val limit_node :
   'm t -> node:int -> start:Simtime.t -> stop:Simtime.t -> bits_per_sec:float -> unit

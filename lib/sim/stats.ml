@@ -1,9 +1,21 @@
+type label = int
+
+let no_label = -1
+
 type t = {
   bytes_sent : int array;
   bytes_received : int array;
   messages_sent : int array;
   mutable dropped : int;
-  by_label : (string, int) Hashtbl.t;
+  (* Interned labels: dense ids into parallel arrays.  The per-send
+     accounting is then one array add — the old string-keyed [Hashtbl]
+     probe (hashing the label on every send) is paid once, at
+     [intern]. *)
+  intern_table : (string, int) Hashtbl.t;
+  mutable label_names : string array;
+  mutable label_counts : int array;
+  mutable label_used : bool array; (* recorded at least once since reset *)
+  mutable n_labels : int;
 }
 
 let create ~n =
@@ -12,19 +24,51 @@ let create ~n =
     bytes_received = Array.make n 0;
     messages_sent = Array.make n 0;
     dropped = 0;
-    by_label = Hashtbl.create 16;
+    intern_table = Hashtbl.create 16;
+    label_names = [||];
+    label_counts = [||];
+    label_used = [||];
+    n_labels = 0;
   }
 
 let n t = Array.length t.bytes_sent
 
-let record_sent t ~node ~bytes ?label () =
+let intern t name =
+  match Hashtbl.find_opt t.intern_table name with
+  | Some id -> id
+  | None ->
+      if t.n_labels = Array.length t.label_names then begin
+        let fresh = max 8 (2 * t.n_labels) in
+        let names = Array.make fresh "" in
+        let counts = Array.make fresh 0 in
+        let used = Array.make fresh false in
+        Array.blit t.label_names 0 names 0 t.n_labels;
+        Array.blit t.label_counts 0 counts 0 t.n_labels;
+        Array.blit t.label_used 0 used 0 t.n_labels;
+        t.label_names <- names;
+        t.label_counts <- counts;
+        t.label_used <- used
+      end;
+      let id = t.n_labels in
+      t.label_names.(id) <- name;
+      t.label_counts.(id) <- 0;
+      t.label_used.(id) <- false;
+      t.n_labels <- t.n_labels + 1;
+      Hashtbl.replace t.intern_table name id;
+      id
+
+(* Allocation-free variant for the network hot path: [label] is either
+   an interned id or [no_label]. *)
+let record_send t ~node ~bytes ~label =
   t.bytes_sent.(node) <- t.bytes_sent.(node) + bytes;
   t.messages_sent.(node) <- t.messages_sent.(node) + 1;
-  match label with
-  | None -> ()
-  | Some l ->
-      let current = Option.value (Hashtbl.find_opt t.by_label l) ~default:0 in
-      Hashtbl.replace t.by_label l (current + bytes)
+  if label >= 0 then begin
+    t.label_counts.(label) <- t.label_counts.(label) + bytes;
+    t.label_used.(label) <- true
+  end
+
+let record_sent t ~node ~bytes ?(label = no_label) () =
+  record_send t ~node ~bytes ~label
 
 let record_received t ~node ~bytes =
   t.bytes_received.(node) <- t.bytes_received.(node) + bytes
@@ -36,15 +80,26 @@ let bytes_received t node = t.bytes_received.(node)
 let messages_sent t node = t.messages_sent.(node)
 let dropped t = t.dropped
 let total_bytes_sent t = Array.fold_left ( + ) 0 t.bytes_sent
-let label_bytes t l = Option.value (Hashtbl.find_opt t.by_label l) ~default:0
+
+let label_bytes t name =
+  match Hashtbl.find_opt t.intern_table name with
+  | Some id -> t.label_counts.(id)
+  | None -> 0
 
 let labels t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_label []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let acc = ref [] in
+  (* Only labels actually recorded since the last reset appear, exactly
+     as the old string-keyed table only held recorded labels. *)
+  for id = t.n_labels - 1 downto 0 do
+    if t.label_used.(id) then acc := (t.label_names.(id), t.label_counts.(id)) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
 let reset t =
   Array.fill t.bytes_sent 0 (n t) 0;
   Array.fill t.bytes_received 0 (n t) 0;
   Array.fill t.messages_sent 0 (n t) 0;
   t.dropped <- 0;
-  Hashtbl.reset t.by_label
+  (* Interned ids stay valid across reset; only the counts clear. *)
+  Array.fill t.label_counts 0 t.n_labels 0;
+  Array.fill t.label_used 0 t.n_labels false

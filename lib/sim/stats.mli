@@ -2,15 +2,35 @@
 
     Table 1 of the paper compares protocols by communication
     complexity; these counters measure actual bytes on the simulated
-    wire, optionally broken down by message label. *)
+    wire, optionally broken down by message label.
+
+    Labels are interned to dense int ids ({!intern}) so the per-send
+    accounting is an array add, not a string-hash probe.  Protocols
+    intern each label once at setup and pass the id to every send. *)
 
 type t
+
+type label
+(** An interned message label, valid for the {!t} that interned it
+    (and across {!reset}). *)
 
 val create : n:int -> t
 
 val n : t -> int
 
-val record_sent : t -> node:int -> bytes:int -> ?label:string -> unit -> unit
+val intern : t -> string -> label
+(** Intern a label name, returning its dense id; interning the same
+    name twice returns the same id. *)
+
+val no_label : label
+(** Sentinel accepted by {!record_send} for unlabelled traffic. *)
+
+val record_send : t -> node:int -> bytes:int -> label:label -> unit
+(** Allocation-free accounting for the network hot path. *)
+
+val record_sent : t -> node:int -> bytes:int -> ?label:label -> unit -> unit
+(** Optional-argument convenience over {!record_send}. *)
+
 val record_received : t -> node:int -> bytes:int -> unit
 val record_dropped : t -> unit
 
@@ -26,6 +46,8 @@ val label_bytes : t -> string -> int
 (** Bytes attributed to a message label ([0] for unknown labels). *)
 
 val labels : t -> (string * int) list
-(** All labels with their byte counts, sorted by label. *)
+(** Labels recorded since the last reset with their byte counts,
+    sorted by label. *)
 
 val reset : t -> unit
+(** Clear every counter.  Interned ids remain valid. *)

@@ -164,6 +164,7 @@ let run_hotstuff ?(n = 9) ?(silent = []) ?(attacks = []) ?(validate = fun _ -> t
       {
         HS.now = (fun () -> Sim.Engine.now engine);
         schedule = (fun d f -> Sim.Engine.schedule_in engine ~after:d f);
+        cancel = (fun h -> Sim.Engine.cancel engine h);
         send =
           (fun ~dst m ->
             Sim.Net.send net ~src:id ~dst ~size:(HS.msg_size ~value_size m) m);
@@ -412,6 +413,7 @@ let run_tendermint ?(n = 9) ?(silent = []) ?(attacks = []) ?(validate = fun _ ->
       {
         TM.now = (fun () -> Sim.Engine.now engine);
         schedule = (fun d f -> Sim.Engine.schedule_in engine ~after:d f);
+        cancel = (fun h -> Sim.Engine.cancel engine h);
         send =
           (fun ~dst m ->
             Sim.Net.send net ~src:id ~dst ~size:(TM.msg_size ~value_size m) m);
@@ -516,6 +518,7 @@ let run_pbft ?(n = 9) ?(silent = []) ?(attacks = []) ?(horizon = 3600.) () =
       {
         PB.now = (fun () -> Sim.Engine.now engine);
         schedule = (fun d f -> Sim.Engine.schedule_in engine ~after:d f);
+        cancel = (fun h -> Sim.Engine.cancel engine h);
         send =
           (fun ~dst m ->
             Sim.Net.send net ~src:id ~dst ~size:(PB.msg_size ~value_size m) m);

@@ -179,7 +179,7 @@ let test_engine_cancel () =
   let e = Engine.create () in
   let fired = ref false in
   let h = Engine.schedule e ~at:1. (fun () -> fired := true) in
-  Engine.cancel h;
+  Engine.cancel e h;
   Engine.run e;
   checkb "cancelled event did not fire" false !fired
 
@@ -208,6 +208,82 @@ let test_engine_past_raises () =
   Engine.run e;
   Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: time is in the past")
     (fun () -> ignore (Engine.schedule e ~at:1. (fun () -> ())))
+
+(* Event cells are pooled and recycled; a handle carries the cell's
+   generation, so a handle kept across the cell's reuse must become
+   inert instead of cancelling the NEW occupant. *)
+let test_engine_pool_reuse_and_stale_cancel () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  (* Fire one event, keep its (now stale) handle. *)
+  let stale = Engine.schedule e ~at:1. (fun () -> incr fired) in
+  Engine.run e;
+  checki "first fired" 1 !fired;
+  (* The freed cell is recycled for the next event. *)
+  let fresh = Engine.schedule e ~at:2. (fun () -> incr fired) in
+  Engine.cancel e stale;
+  (* stale: must be a no-op *)
+  Engine.run e;
+  checki "stale cancel did not kill the recycled cell" 2 !fired;
+  Engine.cancel e fresh;
+  (* fired: also a no-op *)
+  (* Cancelling twice is a no-op too. *)
+  let h = Engine.schedule e ~at:3. (fun () -> incr fired) in
+  Engine.cancel e h;
+  Engine.cancel e h;
+  Engine.run e;
+  checki "double cancel" 2 !fired
+
+(* Schedule/cancel churn: the pool must recycle cells without leaking
+   (pending drains to zero) and cancelled events must never fire even
+   when their cells are reused many times over. *)
+let test_engine_pool_stress () =
+  let e = Engine.create () in
+  let rng = Rng.create 3L in
+  let fired = ref 0 in
+  let expected = ref 0 in
+  for round = 0 to 99 do
+    let base = float_of_int round +. 1. in
+    let handles =
+      List.init 50 (fun k ->
+          Engine.schedule e
+            ~at:(base +. (float_of_int k /. 1000.))
+            (fun () -> incr fired))
+    in
+    let cancelled =
+      List.filter (fun _ -> Rng.int rng 2 = 0) handles
+    in
+    List.iter (fun h -> Engine.cancel e h) cancelled;
+    (* cancel some twice — still inert *)
+    List.iteri (fun i h -> if i land 1 = 0 then Engine.cancel e h) cancelled;
+    expected := !expected + 50 - List.length cancelled;
+    Engine.run e
+  done;
+  checki "every non-cancelled event fired exactly once" !expected !fired;
+  checki "no events leaked in the queue" 0 (Engine.pending e)
+
+(* Cancelled events still advance the clock to their scheduled time:
+   the husk is popped, not skipped. *)
+let test_engine_cancelled_advances_clock () =
+  let e = Engine.create () in
+  let h = Engine.schedule e ~at:7. (fun () -> ()) in
+  Engine.cancel e h;
+  Engine.run e;
+  checkf "clock reaches the cancelled event's time" 7. (Engine.now e)
+
+let test_queue_pop_if_before () =
+  let q = Event_queue.create () in
+  checki "empty yields default" (-1) (Event_queue.pop_if_before q ~horizon:10. ~default:(-1));
+  Event_queue.push q ~time:1. 100;
+  Event_queue.push q ~time:5. 200;
+  Event_queue.push q ~time:9. 300;
+  checki "pops earliest" 100 (Event_queue.pop_if_before q ~horizon:10. ~default:(-1));
+  checki "pops next" 200 (Event_queue.pop_if_before q ~horizon:5. ~default:(-1));
+  checki "beyond horizon stays queued" (-1)
+    (Event_queue.pop_if_before q ~horizon:8.999 ~default:(-1));
+  checki "still there" 1 (Event_queue.size q);
+  checki "exact horizon pops" 300 (Event_queue.pop_if_before q ~horizon:9. ~default:(-1));
+  checki "drained" (-1) (Event_queue.pop_if_before q ~horizon:infinity ~default:(-1))
 
 (* --- NIC ---------------------------------------------------------------- *)
 
@@ -253,12 +329,141 @@ let test_nic_breakpoint_order () =
     (Invalid_argument "Nic.set_rate: breakpoints must be appended in time order")
     (fun () -> Nic.set_rate nic ~from:5. ~bits_per_sec:1e6)
 
+(* Reference list-walk model of the rate schedule, written the way the
+   pre-indexed NIC worked: a newest-first association of breakpoints,
+   scanned end to end per lookup.  The arithmetic per segment matches
+   the NIC op for op, so results must be EXACTLY equal (float 0.). *)
+module Nic_reference = struct
+  type t = {
+    base : float; (* bytes/s *)
+    mutable bps_newest_first : (float * float) list; (* from, bytes/s *)
+    mutable busy_until : float;
+  }
+
+  let create ~bits_per_sec = { base = bits_per_sec /. 8.; bps_newest_first = []; busy_until = 0. }
+
+  let set_rate t ~from ~bits_per_sec =
+    t.bps_newest_first <- (from, bits_per_sec /. 8.) :: t.bps_newest_first
+
+  let rate_at t time =
+    let rec go = function
+      | [] -> t.base
+      | (from, r) :: rest -> if from <= time then r else go rest
+    in
+    go t.bps_newest_first
+
+  (* Next breakpoint strictly after [time], or none. *)
+  let next_change t time =
+    List.fold_left
+      (fun acc (from, _) ->
+        if from > time then
+          match acc with Some c when c <= from -> acc | _ -> Some from
+        else acc)
+      None t.bps_newest_first
+
+  let finish_at t ~start ~bytes =
+    let rec walk time remaining =
+      if remaining <= 0. then time
+      else
+        let rate = rate_at t time in
+        match next_change t time with
+        | None -> if rate <= 0. then Simtime.never else time +. (remaining /. rate)
+        | Some change ->
+            if rate <= 0. then walk change remaining
+            else
+              let capacity = rate *. (change -. time) in
+              if remaining <= capacity then time +. (remaining /. rate)
+              else walk change (remaining -. capacity)
+    in
+    walk start (float_of_int bytes)
+
+  let reserve t ~now ~bytes =
+    let start = Float.max now t.busy_until in
+    if Simtime.is_infinite start then begin
+      t.busy_until <- Simtime.never;
+      Simtime.never
+    end
+    else begin
+      let finish = finish_at t ~start ~bytes in
+      t.busy_until <- finish;
+      finish
+    end
+end
+
+let exactf = Alcotest.check (Alcotest.float 0.)
+
+(* Drive the indexed NIC and the list-walk reference through the same
+   randomized schedule-and-reserve history; every reservation and every
+   planner lookup must agree bit for bit.  Covers duplicate breakpoint
+   times (newest wins), zero-rate windows, boundary-sharing windows, and
+   out-of-cursor-order [transfer_time] probes. *)
+let test_nic_matches_reference () =
+  let rng = Rng.create 77L in
+  for _trial = 1 to 50 do
+    let base = float_of_int (1 + Rng.int rng 100) *. 1e5 in
+    let nic = Nic.create ~bits_per_sec:base () in
+    let reference = Nic_reference.create ~bits_per_sec:base in
+    (* A random breakpoint schedule appended in time order; some times
+       repeat so the newest-duplicate rule is exercised. *)
+    let time = ref 0. in
+    for _ = 1 to 1 + Rng.int rng 12 do
+      time := !time +. float_of_int (Rng.int rng 20);
+      let rate = if Rng.int rng 4 = 0 then 0. else float_of_int (Rng.int rng 100) *. 1e5 in
+      Nic.set_rate nic ~from:!time ~bits_per_sec:rate;
+      Nic_reference.set_rate reference ~from:!time ~bits_per_sec:rate
+    done;
+    (* Reservations at nondecreasing [now]s (the engine guarantee). *)
+    let now = ref 0. in
+    for _ = 1 to 30 do
+      now := !now +. float_of_int (Rng.int rng 15);
+      let bytes = Rng.int rng 2_000_000 in
+      (* A planner probe at an arbitrary (possibly earlier) time first:
+         must not disturb the committed cursor. *)
+      let probe_at = float_of_int (Rng.int rng 200) in
+      let expected_probe =
+        let start = Float.max probe_at (Nic_reference.(reference.busy_until)) in
+        if Simtime.is_infinite start then Simtime.never
+        else Nic_reference.finish_at reference ~start ~bytes
+      in
+      exactf "transfer_time matches reference" expected_probe
+        (Nic.transfer_time nic ~now:probe_at ~bytes);
+      exactf "rate_at matches reference"
+        (Nic_reference.rate_at reference probe_at *. 8.)
+        (Nic.rate_at nic probe_at);
+      exactf "reserve matches reference"
+        (Nic_reference.reserve reference ~now:!now ~bytes)
+        (Nic.reserve nic ~now:!now ~bytes)
+    done
+  done
+
+let test_nic_window_edge_cases () =
+  (* Zero-length window: restores instantly, transfer unaffected. *)
+  let nic = Nic.create ~bits_per_sec:1e6 () in
+  Nic.limit_window nic ~start:5. ~stop:5. ~bits_per_sec:0.;
+  checkf "zero-length window restores" 1e6 (Nic.rate_at nic 5.);
+  checkf "transfer through it" 8. (Nic.transfer_time nic ~now:0. ~bytes:1_000_000);
+  (* Boundary-sharing windows: the second may start exactly where the
+     first stopped. *)
+  let nic2 = Nic.create ~bits_per_sec:1e6 () in
+  Nic.limit_window nic2 ~start:0. ~stop:10. ~bits_per_sec:0.5e6;
+  Nic.limit_window nic2 ~start:10. ~stop:20. ~bits_per_sec:0.25e6;
+  checkf "first window" 0.5e6 (Nic.rate_at nic2 5.);
+  checkf "second window" 0.25e6 (Nic.rate_at nic2 15.);
+  checkf "restored after both" 1e6 (Nic.rate_at nic2 25.);
+  (* Duplicate times: the latest-appended breakpoint wins. *)
+  let nic3 = Nic.create ~bits_per_sec:1e6 () in
+  Nic.set_rate nic3 ~from:10. ~bits_per_sec:2e6;
+  Nic.set_rate nic3 ~from:10. ~bits_per_sec:4e6;
+  checkf "newest duplicate wins" 4e6 (Nic.rate_at nic3 10.);
+  checkf "before unchanged" 1e6 (Nic.rate_at nic3 9.)
+
 (* --- Stats --------------------------------------------------------------- *)
 
 let test_stats () =
   let s = Stats.create ~n:3 in
-  Stats.record_sent s ~node:0 ~bytes:100 ~label:"vote" ();
-  Stats.record_sent s ~node:0 ~bytes:50 ~label:"vote" ();
+  let vote = Stats.intern s "vote" in
+  Stats.record_sent s ~node:0 ~bytes:100 ~label:vote ();
+  Stats.record_sent s ~node:0 ~bytes:50 ~label:vote ();
   Stats.record_sent s ~node:1 ~bytes:10 ();
   Stats.record_received s ~node:2 ~bytes:100;
   checki "bytes sent" 150 (Stats.bytes_sent s 0);
@@ -269,6 +474,32 @@ let test_stats () =
   checki "received" 100 (Stats.bytes_received s 2);
   Stats.reset s;
   checki "after reset" 0 (Stats.total_bytes_sent s)
+
+let test_stats_interning () =
+  let s = Stats.create ~n:2 in
+  let vote = Stats.intern s "vote" in
+  let again = Stats.intern s "vote" in
+  checkb "interning is idempotent" true (vote = again);
+  let sig_ = Stats.intern s "sig" in
+  checkb "distinct names, distinct ids" true (vote <> sig_);
+  (* The allocation-free path and the optional-argument wrapper land in
+     the same counters. *)
+  Stats.record_send s ~node:0 ~bytes:100 ~label:vote;
+  Stats.record_sent s ~node:1 ~bytes:40 ~label:vote ();
+  Stats.record_send s ~node:0 ~bytes:7 ~label:Stats.no_label;
+  checki "label bytes" 140 (Stats.label_bytes s "vote");
+  checki "unlabelled traffic still counted" 147 (Stats.bytes_sent s 0 + Stats.bytes_sent s 1);
+  (* Only labels recorded since the last reset are listed, sorted. *)
+  Alcotest.(check (list (pair string int)))
+    "labels lists recorded only" [ ("vote", 140) ] (Stats.labels s);
+  Stats.record_send s ~node:0 ~bytes:5 ~label:sig_;
+  Alcotest.(check (list (pair string int)))
+    "sorted by name" [ ("sig", 5); ("vote", 140) ] (Stats.labels s);
+  Stats.reset s;
+  Alcotest.(check (list (pair string int))) "reset clears labels" [] (Stats.labels s);
+  (* Interned ids survive reset. *)
+  Stats.record_send s ~node:0 ~bytes:9 ~label:vote;
+  checki "id valid after reset" 9 (Stats.label_bytes s "vote")
 
 (* --- Trace --------------------------------------------------------------- *)
 
@@ -426,13 +657,20 @@ let suite =
     ("engine horizon", `Quick, test_engine_horizon);
     ("engine nested scheduling", `Quick, test_engine_nested_schedule);
     ("engine rejects past events", `Quick, test_engine_past_raises);
+    ("engine pool reuse + stale cancel", `Quick, test_engine_pool_reuse_and_stale_cancel);
+    ("engine pool churn stress", `Quick, test_engine_pool_stress);
+    ("engine cancelled event advances clock", `Quick, test_engine_cancelled_advances_clock);
+    ("event queue pop_if_before", `Quick, test_queue_pop_if_before);
     ("nic basic rate", `Quick, test_nic_basic_rate);
     ("nic zero rate forever", `Quick, test_nic_zero_rate_forever);
     ("nic stalls through offline window", `Quick, test_nic_window_stall);
     ("nic split across rate change", `Quick, test_nic_window_partial);
     ("nic window restores rate", `Quick, test_nic_window_restores);
     ("nic breakpoint ordering", `Quick, test_nic_breakpoint_order);
+    ("nic matches list-walk reference", `Quick, test_nic_matches_reference);
+    ("nic window edge cases", `Quick, test_nic_window_edge_cases);
     ("stats counters", `Quick, test_stats);
+    ("stats label interning", `Quick, test_stats_interning);
     ("trace", `Quick, test_trace);
     ("topology", `Quick, test_topology);
     ("net delivery time", `Quick, test_net_delivery_time);
