@@ -26,6 +26,7 @@ let quota = ref 0.5
 let micro_results : (string * float) list ref = ref []    (* ns/run *)
 let macro_results : (string * float) list ref = ref []    (* wall s *)
 let alloc_results : (string * float) list ref = ref []    (* MB allocated per run *)
+let drop_results : (string * int) list ref = ref []       (* messages dropped *)
 let target_times : (string * float) list ref = ref []     (* wall s *)
 
 let header title =
@@ -353,19 +354,28 @@ let macro_run name ~env ~protocol =
   let res = E.run protocol env in
   let alloc_mb = (Gc.allocated_bytes () -. a0) /. 1e6 in
   let wall = Unix.gettimeofday () -. t0 in
+  let stats = res.Protocols.Runenv.stats in
   Printf.printf "%-28s %8.3f s wall  %8.1f MB alloc  (success: %b, latency: %s)\n"
     name wall alloc_mb
     (Protocols.Runenv.success env res)
     (match Protocols.Runenv.success_latency res with
     | Some t -> Printf.sprintf "%.1f s simulated" t
     | None -> "n/a");
+  (match Tor_sim.Stats.dropped_labels stats with
+  | [] -> ()
+  | by_label ->
+      Printf.printf "%-28s dropped: %s\n" ""
+        (String.concat ", "
+           (List.map (fun (l, c) -> Printf.sprintf "%s=%d" l c) by_label)));
   macro_results := !macro_results @ [ (name, wall) ];
-  alloc_results := !alloc_results @ [ (name, alloc_mb) ]
+  alloc_results := !alloc_results @ [ (name, alloc_mb) ];
+  drop_results := !drop_results @ [ (name, Tor_sim.Stats.dropped stats) ]
 
 let macro () =
   header "Macro benchmarks: full protocol runs (wall clock + allocation)";
   macro_results := [];
   alloc_results := [];
+  drop_results := [];
   let spec seed n_relays = { Protocols.Runenv.Spec.default with seed; n_relays } in
   (* Figure 10's largest completing configuration. *)
   macro_run "e2e-ours-8k-relays" ~protocol:E.Ours
@@ -408,6 +418,9 @@ let emit_json path =
   section "micro_ns_per_run" (List.map ns !micro_results) ~last:false;
   section "macro_wall_s" (List.map secs !macro_results) ~last:false;
   section "alloc_mb_per_run" (List.map secs !alloc_results) ~last:false;
+  section "macro_dropped_msgs"
+    (List.map (fun (k, v) -> (k, string_of_int v)) !drop_results)
+    ~last:false;
   section "target_wall_s" (List.map secs (List.rev !target_times)) ~last:true;
   Buffer.add_string buf "}\n";
   let oc = open_out path in

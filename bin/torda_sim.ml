@@ -92,6 +92,10 @@ let run_cmd =
     | None -> print_endline "latency:   (no consensus)");
     Printf.printf "traffic:   %.1f MB total on the wire\n"
       (float_of_int (Tor_sim.Stats.total_bytes_sent result.R.stats) /. 1e6);
+    Printf.printf "dropped:   %d message(s)\n" (Tor_sim.Stats.dropped result.R.stats);
+    List.iter
+      (fun (label, count) -> Printf.printf "  %-14s %d\n" label count)
+      (Tor_sim.Stats.dropped_labels result.R.stats);
     if R.success env result then 0 else 1
   in
   let term = Term.(const action $ protocol_arg $ relays_arg $ bandwidth_arg $ seed_arg $ attack_arg) in
@@ -229,6 +233,78 @@ let sweep_cmd =
           $(b,--jobs); timing goes to stderr so stdout is byte-comparable.")
     term
 
+(* --- chaos ----------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains: $(b,1) runs sequentially, $(b,0) uses one domain \
+             per core.  Verdicts are identical for every setting.")
+  in
+  let plans_arg =
+    Arg.(
+      value
+      & opt int Exec.Chaos.default_config.Exec.Chaos.plans
+      & info [ "plans" ] ~docv:"N" ~doc:"Number of chaos cases to sample and run.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value
+      & opt string Exec.Chaos.default_config.Exec.Chaos.seed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed the whole campaign derives from; same seed, same verdicts.")
+  in
+  let chaos_relays_arg =
+    Arg.(
+      value
+      & opt int Exec.Chaos.default_config.Exec.Chaos.n_relays
+      & info [ "r"; "relays" ] ~docv:"N"
+          ~doc:"Relays in the synthetic network (default 1000: chaos stresses \
+                faults, not payload size).")
+  in
+  let action jobs plans seed relays =
+    if jobs < 0 then begin
+      prerr_endline "chaos: --jobs must be >= 0";
+      2
+    end
+    else if plans < 0 then begin
+      prerr_endline "chaos: --plans must be >= 0";
+      2
+    end
+    else begin
+      let jobs = if jobs = 0 then Exec.Pool.default_jobs () else jobs in
+      let config =
+        { Exec.Chaos.default_config with Exec.Chaos.seed; plans; n_relays = relays }
+      in
+      let started = Unix.gettimeofday () in
+      let report = Exec.Chaos.check ~config ~run_protocol:E.run ~jobs () in
+      let elapsed = Unix.gettimeofday () -. started in
+      List.iter
+        (fun v -> Format.printf "@[<v>%a@]@." Exec.Chaos.pp_verdict v)
+        report.Exec.Chaos.verdicts;
+      Printf.printf "chaos: %d plan(s), %d safety violation(s), %d liveness violation(s)\n"
+        plans report.Exec.Chaos.safety_violations report.Exec.Chaos.liveness_violations;
+      Printf.eprintf "chaos: %d plan(s) on %d domain(s) in %.1f s\n%!" plans jobs elapsed;
+      if report.Exec.Chaos.safety_violations > 0 then 1 else 0
+    end
+  in
+  let term =
+    Term.(const action $ jobs_arg $ plans_arg $ chaos_seed_arg $ chaos_relays_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sample seeded fault plans (loss, partitions, jitter, duplication, \
+          crashes), run all three protocols through each, and check the \
+          partial-synchrony protocol's safety and liveness invariants.  A \
+          failing case is shrunk to a minimal repro and printed with its spec \
+          digest; exit status 1 on any safety violation.")
+    term
+
 (* --- scenario ------------------------------------------------------------- *)
 
 let scenario_cmd =
@@ -280,4 +356,6 @@ let scenario_cmd =
 let () =
   let doc = "Tor directory protocol simulator (EUROSYS '26 reproduction)" in
   let info = Cmd.info "torda-sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; log_cmd; cost_cmd; sweep_cmd; scenario_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ run_cmd; log_cmd; cost_cmd; sweep_cmd; chaos_cmd; scenario_cmd ]))

@@ -31,6 +31,7 @@ type msg =
   | Fetch of { wanted : int list }
   | Fetch_reply of { doc : Dirdoc.Vote.t; signature : Signature.t }
   | Cons_sig of { digest : Digest32.t; signature : Signature.t }
+  | Cons_sig_request
 
 let msg_size = function
   | Document { doc; _ } | Fetch_reply { doc; _ } ->
@@ -43,7 +44,7 @@ let msg_size = function
             + match e.sender_sig with Some _ -> Signature.wire_size | None -> 0)
           0 p.entries
   | Agreement m -> A.msg_size ~value_size:Dissemination.value_wire_size m
-  | Fetch _ -> Wire.request_bytes
+  | Fetch _ | Cons_sig_request -> Wire.request_bytes
   | Cons_sig _ -> Wire.signature_bytes + Wire.control_bytes
 
 type node = {
@@ -85,6 +86,7 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
   let lbl_fetch = Sim.Stats.intern stats "fetch" in
   let lbl_fetch_reply = Sim.Stats.intern stats "fetch-reply" in
   let lbl_cons_sig = Sim.Stats.intern stats "cons-sig" in
+  let lbl_sig_request = Sim.Stats.intern stats "sig-request" in
   (* Authorities that hold identical vote sets share one aggregation;
      the memo is run-local, so parallel sweep runs stay independent. *)
   let agg_memo = Dirdoc.Aggregate.Memo.create () in
@@ -131,6 +133,21 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
     end
   in
   (* --- aggregation ------------------------------------------------------ *)
+  (* One lost Cons_sig broadcast must not strand a node below the
+     signature majority forever (the chaos harness's shrunk repro:
+     partition one link during aggregation, liveness gone).  Until the
+     node has decided, periodically ask every peer for its signature;
+     peers that have signed answer with a Cons_sig. *)
+  let rec ensure_signatures node =
+    if Siground.consensus node.sig_round <> None
+       && Siground.decided_at node.sig_round = None
+    then begin
+      broadcast ~src:node.id ~label:lbl_sig_request Cons_sig_request;
+      ignore
+        (Sim.Engine.schedule_in engine ~after:params.fetch_retry (fun () ->
+             ensure_signatures node))
+    end
+  in
   let try_finish node =
     match node.decided_vector with
     | None -> ()
@@ -168,7 +185,10 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
               "Aggregated %d votes into a consensus document; broadcasting signature."
               (List.length votes);
             broadcast ~src:node.id ~label:lbl_cons_sig
-              (Cons_sig { digest = Dirdoc.Consensus.digest c; signature })
+              (Cons_sig { digest = Dirdoc.Consensus.digest c; signature });
+            ignore
+              (Sim.Engine.schedule_in engine ~after:params.fetch_retry (fun () ->
+                   ensure_signatures node))
           end
         end
   in
@@ -253,7 +273,7 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
   (* --- network dispatch --------------------------------------------------- *)
   Sim.Net.set_handler net (fun ~dst ~src msg ->
       let node = nodes.(dst) in
-      if env.behaviors.(dst) <> Runenv.Silent then
+      if Runenv.awake env dst ~now:(now ()) then
         match msg with
         | Document { doc; signature } ->
             accept_document node ~origin:doc.Dirdoc.Vote.authority doc signature
@@ -278,64 +298,83 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
                 | _ -> ())
               wanted
         | Cons_sig { digest; signature } ->
-            Siground.store node.sig_round ~now:(now ()) ~digest signature);
+            Siground.store node.sig_round ~now:(now ()) ~digest signature
+        | Cons_sig_request -> (
+            match
+              (Siground.consensus node.sig_round, Siground.my_signature node.sig_round)
+            with
+            | Some c, Some signature ->
+                send ~src:dst ~dst:src ~label:lbl_cons_sig
+                  (Cons_sig { digest = Dirdoc.Consensus.digest c; signature })
+            | _ -> ()));
   (* --- start ------------------------------------------------------------- *)
+  let start_node node =
+    let id = node.id in
+    (match env.behaviors.(id) with
+    | Runenv.Silent -> assert false (* never started; see below *)
+    | Runenv.Honest | Runenv.Crashed _ ->
+        let doc = env.votes.(id) in
+        let signature =
+          Dissemination.sign_document env.keyring ~sender:id
+            (Dirdoc.Vote.digest doc)
+        in
+        node.docs.(id) <- Some doc;
+        node.doc_sigs.(id) <- Some signature;
+        broadcast ~src:id ~label:lbl_document (Document { doc; signature })
+    | Runenv.Equivocating ->
+        (* Conflicting documents to even/odd peers. *)
+        let doc = env.votes.(id) in
+        let relays = Array.to_list doc.Dirdoc.Vote.relays in
+        let trimmed = match relays with [] -> [] | _ :: rest -> rest in
+        let variant =
+          Dirdoc.Vote.create ~authority:id
+            ~authority_fingerprint:doc.Dirdoc.Vote.authority_fingerprint
+            ~nickname:doc.Dirdoc.Vote.nickname
+            ~published:doc.Dirdoc.Vote.published
+            ~valid_after:doc.Dirdoc.Vote.valid_after ~relays:trimmed
+        in
+        node.docs.(id) <- Some doc;
+        node.doc_sigs.(id) <-
+          Some
+            (Dissemination.sign_document env.keyring ~sender:id
+               (Dirdoc.Vote.digest doc));
+        for dst = 0 to n - 1 do
+          if dst <> id then begin
+            let d = if dst land 1 = 0 then doc else variant in
+            let signature =
+              Dissemination.sign_document env.keyring ~sender:id
+                (Dirdoc.Vote.digest d)
+            in
+            send ~src:id ~dst ~label:lbl_document (Document { doc = d; signature })
+          end
+        done);
+    ignore
+      (Sim.Engine.schedule_in engine ~after:params.doc_timeout (fun () ->
+           node.doc_deadline_passed <- true;
+           match node.hotstuff with
+           | Some hs ->
+               send_proposal_if_ready node ~view:(A.current_view hs);
+               A.notify_ready hs
+           | None -> ()));
+    match node.hotstuff with
+    | Some hs -> A.start hs
+    | None -> ()
+  in
   Array.iter
     (fun node ->
       let id = node.id in
       ignore
         (Sim.Engine.schedule engine ~at:0. (fun () ->
-             (match env.behaviors.(id) with
+             match env.behaviors.(id) with
              | Runenv.Silent -> ()
-             | Runenv.Honest ->
-                 let doc = env.votes.(id) in
-                 let signature =
-                   Dissemination.sign_document env.keyring ~sender:id
-                     (Dirdoc.Vote.digest doc)
-                 in
-                 node.docs.(id) <- Some doc;
-                 node.doc_sigs.(id) <- Some signature;
-                 broadcast ~src:id ~label:lbl_document (Document { doc; signature })
-             | Runenv.Equivocating ->
-                 (* Conflicting documents to even/odd peers. *)
-                 let doc = env.votes.(id) in
-                 let relays = Array.to_list doc.Dirdoc.Vote.relays in
-                 let trimmed = match relays with [] -> [] | _ :: rest -> rest in
-                 let variant =
-                   Dirdoc.Vote.create ~authority:id
-                     ~authority_fingerprint:doc.Dirdoc.Vote.authority_fingerprint
-                     ~nickname:doc.Dirdoc.Vote.nickname
-                     ~published:doc.Dirdoc.Vote.published
-                     ~valid_after:doc.Dirdoc.Vote.valid_after ~relays:trimmed
-                 in
-                 node.docs.(id) <- Some doc;
-                 node.doc_sigs.(id) <-
-                   Some
-                     (Dissemination.sign_document env.keyring ~sender:id
-                        (Dirdoc.Vote.digest doc));
-                 for dst = 0 to n - 1 do
-                   if dst <> id then begin
-                     let d = if dst land 1 = 0 then doc else variant in
-                     let signature =
-                       Dissemination.sign_document env.keyring ~sender:id
-                         (Dirdoc.Vote.digest d)
-                     in
-                     send ~src:id ~dst ~label:lbl_document (Document { doc = d; signature })
-                   end
-                 done);
-             if env.behaviors.(id) <> Runenv.Silent then begin
-               ignore
-                 (Sim.Engine.schedule_in engine ~after:params.doc_timeout (fun () ->
-                      node.doc_deadline_passed <- true;
-                      match node.hotstuff with
-                      | Some hs ->
-                          send_proposal_if_ready node ~view:(A.current_view hs);
-                          A.notify_ready hs
-                      | None -> ()));
-               match node.hotstuff with
-               | Some hs -> A.start hs
-               | None -> ()
-             end)))
+             | Runenv.Crashed { start; stop } when start <= 0. ->
+                 (* Down from the first instant: the whole startup —
+                    document broadcast, document deadline, agreement
+                    engine — waits for recovery. *)
+                 ignore
+                   (Sim.Engine.schedule engine ~at:stop (fun () -> start_node node))
+             | Runenv.Honest | Runenv.Equivocating | Runenv.Crashed _ ->
+                 start_node node)))
     nodes;
   Sim.Engine.run ~until:env.horizon engine;
   let per_authority =

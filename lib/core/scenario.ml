@@ -31,14 +31,23 @@ let parse_protocol = function
   | "ours" | "partial" -> Ok Experiments.Ours
   | s -> Error (Printf.sprintf "unknown protocol %S" s)
 
-let parse_behavior = function
-  | "silent" -> Ok Runenv.Silent
-  | "equivocating" -> Ok Runenv.Equivocating
-  | "honest" -> Ok Runenv.Honest
-  | s -> Error (Printf.sprintf "unknown behavior %S" s)
-
 let int_arg s = Option.to_result ~none:(Printf.sprintf "bad integer %S" s) (int_of_string_opt s)
 let float_arg s = Option.to_result ~none:(Printf.sprintf "bad number %S" s) (float_of_string_opt s)
+
+(* Directives are space-split, so the crash window rides inside one
+   word: [crashed:<start>:<stop>]. *)
+let parse_behavior s =
+  match String.split_on_char ':' s with
+  | [ "silent" ] -> Ok Runenv.Silent
+  | [ "equivocating" ] -> Ok Runenv.Equivocating
+  | [ "honest" ] -> Ok Runenv.Honest
+  | [ "crashed"; start; stop ] ->
+      let ( let* ) = Result.bind in
+      let* start = float_arg start in
+      let* stop = float_arg stop in
+      if stop < start then Error (Printf.sprintf "crash window %S stops before it starts" s)
+      else Ok (Runenv.Crashed { start; stop })
+  | _ -> Error (Printf.sprintf "unknown behavior %S" s)
 
 let apply_directive draft = function
   | [ "protocol"; p ] ->

@@ -1,0 +1,96 @@
+(** Seeded chaos harness: sampled fault plans, invariant checks,
+    counterexample shrinking.
+
+    From one string seed the harness derives [plans] random chaos
+    cases — a {!Tor_sim.Fault.plan} (loss windows, partitions, jitter,
+    duplication, crashes) plus a behavior assignment (silent,
+    equivocating, and crash-recovering authorities) — runs all three
+    protocols through each case on the domain {!Pool}, and checks two
+    invariants of the paper's partial-synchrony protocol:
+
+    {ul
+    {- {e safety}: {!Protocols.Runenv.agreement_holds} must hold
+       whenever the number of faulty nodes (silent, equivocating, or
+       crash-faulted) is at most ⌊(n−1)/3⌋;}
+    {- {e liveness}: when every fault window clears before the
+       horizon and at most ⌊(n−1)/3⌋ nodes are permanently faulty,
+       a majority must decide within [liveness_bound] seconds of the
+       last fault clearing.}}
+
+    Sampling is keyed off [(seed, case index)] alone and the runs
+    replay deterministically, so verdicts are identical for every
+    [~jobs] value.  When an invariant fails, the case is greedily
+    shrunk — faults dropped one at a time, misbehaviors reverted to
+    honest one at a time, while the failure still reproduces — and
+    reported as the minimal spec plus its digest: a one-line repro. *)
+
+type config = {
+  seed : string;
+  plans : int;                     (** chaos cases to sample *)
+  n : int;                         (** authorities *)
+  n_relays : int;
+  bandwidth_bits_per_sec : float;
+  horizon : float;
+  liveness_bound : float;
+      (** decide within this many seconds of the last fault clearing *)
+}
+
+val default_config : config
+(** seed ["chaos"], 20 plans, 9 authorities, 1000 relays, 250 Mbit/s,
+    7200 s horizon, 900 s liveness bound. *)
+
+val fault_bound : n:int -> int
+(** ⌊(n−1)/3⌋ — the BFT tolerance the invariants are scoped to. *)
+
+val sample_spec : config -> index:int -> Protocols.Runenv.Spec.t
+(** The [index]-th chaos case of a configuration: a run spec whose
+    [behaviors] and [fault_plan] come from the case's own RNG stream.
+    Pure: depends only on [(config, index)]. *)
+
+(** Outcome of one protocol on one chaos case. *)
+type protocol_report = {
+  protocol : Job.protocol;
+  success : bool;                  (** {!Protocols.Runenv.success} *)
+  agreement : bool;                (** {!Protocols.Runenv.agreement_holds} *)
+  decided_at_latest : float option;
+  dropped : int;                   (** messages lost, all causes *)
+}
+
+type verdict = {
+  index : int;
+  spec_digest : string;            (** {!Protocols.Runenv.Spec.digest} *)
+  plan : Tor_sim.Fault.plan;
+  behaviors : Protocols.Runenv.behavior array option;
+  node_faults : int;               (** distinct faulty/equivocating nodes *)
+  permanent_faults : int;          (** silent + equivocating nodes *)
+  faults_clear_at : float;
+  reports : protocol_report list;  (** current, synchronous, ours *)
+  safety_applicable : bool;
+  safety_ok : bool;                (** [true] when not applicable *)
+  liveness_applicable : bool;
+  liveness_ok : bool;              (** [true] when not applicable *)
+  shrunk : Protocols.Runenv.Spec.t option;
+      (** minimal failing spec, present iff an invariant failed *)
+}
+
+type report = {
+  config : config;
+  verdicts : verdict list;         (** one per case, in index order *)
+  safety_violations : int;
+  liveness_violations : int;
+}
+
+val check :
+  ?config:config ->
+  run_protocol:(Job.protocol -> Protocols.Runenv.t -> Protocols.Runenv.run_result) ->
+  jobs:int ->
+  unit ->
+  report
+(** Run the harness.  [run_protocol] is the execution path (the CLI
+    passes [Torpartial.Experiments.run]; injected because [exec] sits
+    below the protocol drivers in the library graph).  Verdicts are
+    independent of [jobs]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** One line per case; failing cases gain indented shrunk-repro
+    lines. *)

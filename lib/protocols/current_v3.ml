@@ -91,7 +91,7 @@ let run (env : Runenv.t) =
   in
   Sim.Net.set_handler net (fun ~dst ~src msg ->
       let node = nodes.(dst) in
-      if env.behaviors.(dst) <> Runenv.Silent then
+      if Runenv.awake env dst ~now:(now ()) then
         match msg with
         | Vote_push v | Vote_reply v ->
             node.replied.(src) <- true;
@@ -122,6 +122,15 @@ let run (env : Runenv.t) =
       ~valid_after:v.Dirdoc.Vote.valid_after ~relays:trimmed
   in
   (* Round 1: push votes. ------------------------------------------------ *)
+  let vote_now node =
+    let id = node.id in
+    node.votes.(id) <- Some env.votes.(id);
+    node.last_vote_at <- now ();
+    log ~node:id Sim.Trace.Notice "Time to vote.";
+    for dst = 0 to n - 1 do
+      if dst <> id then send ~src:id ~dst ~label:lbl_vote (Vote_push env.votes.(id))
+    done
+  in
   Array.iter
     (fun node ->
       let id = node.id in
@@ -129,13 +138,16 @@ let run (env : Runenv.t) =
         (Sim.Engine.schedule engine ~at:0. (fun () ->
              match env.behaviors.(id) with
              | Runenv.Silent -> ()
-             | Runenv.Honest ->
-                 node.votes.(id) <- Some env.votes.(id);
-                 log ~node:id Sim.Trace.Notice "Time to vote.";
-                 for dst = 0 to n - 1 do
-                   if dst <> id then
-                     send ~src:id ~dst ~label:lbl_vote (Vote_push env.votes.(id))
-                 done
+             | Runenv.Honest -> vote_now node
+             | Runenv.Crashed { start; stop } ->
+                 if start > 0. then vote_now node
+                 else
+                   (* Down at vote time: push the vote on recovery.
+                      Peers discard it if the voting window has closed
+                      (store_vote's cutoff), exactly like a late real
+                      authority. *)
+                   ignore
+                     (Sim.Engine.schedule engine ~at:stop (fun () -> vote_now node))
              | Runenv.Equivocating ->
                  node.votes.(id) <- Some env.votes.(id);
                  let variant = equivocating_variant id in
@@ -147,7 +159,7 @@ let run (env : Runenv.t) =
     nodes;
   (* Round 2: fetch missing votes (with one mid-round retry). ------------ *)
   let fetch_missing node ~retry =
-    if env.behaviors.(node.id) = Runenv.Silent then ()
+    if not (Runenv.awake env node.id ~now:(now ())) then ()
     else begin
       let missing =
         List.filter (fun j -> node.votes.(j) = None) (List.init n Fun.id)
@@ -201,7 +213,7 @@ let run (env : Runenv.t) =
     (fun node ->
       ignore
         (Sim.Engine.schedule engine ~at:(2. *. round_seconds) (fun () ->
-             if env.behaviors.(node.id) = Runenv.Silent then ()
+             if not (Runenv.awake env node.id ~now:(now ())) then ()
              else begin
                log ~node:node.id Sim.Trace.Notice "Time to compute a consensus.";
                let held = Array.to_list node.votes |> List.filter_map Fun.id in
@@ -228,7 +240,7 @@ let run (env : Runenv.t) =
     (fun node ->
       ignore
         (Sim.Engine.schedule engine ~at:(3. *. round_seconds) (fun () ->
-             if env.behaviors.(node.id) <> Runenv.Silent
+             if Runenv.awake env node.id ~now:(now ())
                 && Siground.consensus node.sig_round <> None
                 && Siground.count node.sig_round < need
              then

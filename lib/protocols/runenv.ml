@@ -7,7 +7,11 @@ type attack = {
   bits_per_sec : float;
 }
 
-type behavior = Honest | Silent | Equivocating
+type behavior =
+  | Honest
+  | Silent
+  | Equivocating
+  | Crashed of { start : Sim.Simtime.t; stop : Sim.Simtime.t }
 
 type t = {
   n : int;
@@ -18,8 +22,19 @@ type t = {
   bandwidth_bits_per_sec : float;
   attacks : attack list;
   behaviors : behavior array;
+  fault_plan : Sim.Fault.plan option;
   horizon : Sim.Simtime.t;
 }
+
+let awake t id ~now =
+  match t.behaviors.(id) with
+  | Honest | Equivocating -> true
+  | Silent -> false
+  | Crashed { start; stop } -> not (now >= start && now < stop)
+
+let participates = function
+  | Honest | Equivocating | Crashed _ -> true
+  | Silent -> false
 
 let default_valid_after =
   match Dirdoc.Timefmt.of_string "2026-01-01 01:00:00" with
@@ -38,6 +53,7 @@ module Spec = struct
     attacks : runenv_attack list;
     behaviors : behavior array option;
     divergence : Dirdoc.Workload.divergence option;
+    fault_plan : Sim.Fault.plan option;
     horizon : Sim.Simtime.t;
   }
 
@@ -51,6 +67,7 @@ module Spec = struct
       attacks = [];
       behaviors = None;
       divergence = None;
+      fault_plan = None;
       horizon = 7200.;
     }
 
@@ -85,8 +102,14 @@ module Spec = struct
     | Some b ->
         Array.iter
           (fun v ->
-            Buffer.add_char buf
-              (match v with Honest -> 'h' | Silent -> 's' | Equivocating -> 'e'))
+            match v with
+            | Honest -> Buffer.add_char buf 'h'
+            | Silent -> Buffer.add_char buf 's'
+            | Equivocating -> Buffer.add_char buf 'e'
+            | Crashed { start; stop } ->
+                Buffer.add_char buf 'c';
+                f start;
+                f stop)
           b;
         Buffer.add_char buf ';');
     (match t.divergence with
@@ -96,6 +119,9 @@ module Spec = struct
         f d.Dirdoc.Workload.bw_jitter;
         f d.Dirdoc.Workload.flag_flip_prob;
         f d.Dirdoc.Workload.unmeasured_prob);
+    (match t.fault_plan with
+    | None -> Buffer.add_string buf "default;"
+    | Some plan -> s (Sim.Fault.canonical plan));
     f t.horizon;
     Buffer.contents buf
 
@@ -106,7 +132,7 @@ end
 
 let of_spec ?votes (spec : Spec.t) =
   let { Spec.seed; valid_after; n; n_relays; bandwidth_bits_per_sec; attacks;
-        behaviors; divergence; horizon } = spec in
+        behaviors; divergence; fault_plan; horizon } = spec in
   let keyring = Crypto.Keyring.create ~seed ~n () in
   let rng = Sim.Rng.of_string_seed seed in
   let topology = Sim.Topology.realistic ~n ~rng:(Sim.Rng.split rng) in
@@ -124,9 +150,16 @@ let of_spec ?votes (spec : Spec.t) =
     | Some b ->
         if Array.length b <> n then
           invalid_arg "Runenv.of_spec: behaviors length mismatch";
+        Array.iter
+          (function
+            | Crashed { start; stop } when stop < start ->
+                invalid_arg "Runenv.of_spec: crash window stops before it starts"
+            | _ -> ())
+          b;
         b
     | None -> Array.make n Honest
   in
+  Option.iter (fun plan -> Sim.Fault.validate ~n plan) fault_plan;
   List.iter
     (fun a ->
       if a.node < 0 || a.node >= n then
@@ -143,12 +176,13 @@ let of_spec ?votes (spec : Spec.t) =
     bandwidth_bits_per_sec;
     attacks;
     behaviors;
+    fault_plan;
     horizon;
   }
 
 let make ?(seed = "torpartial") ?(valid_after = default_valid_after) ?(n = 9)
     ?(n_relays = 1000) ?(bandwidth_bits_per_sec = 250e6) ?(attacks = []) ?behaviors
-    ?divergence ?(horizon = 7200.) ?votes () =
+    ?divergence ?fault_plan ?(horizon = 7200.) ?votes () =
   of_spec ?votes
     {
       Spec.seed;
@@ -159,6 +193,7 @@ let make ?(seed = "torpartial") ?(valid_after = default_valid_after) ?(n = 9)
       attacks;
       behaviors;
       divergence;
+      fault_plan;
       horizon;
     }
 
@@ -178,10 +213,17 @@ type run_result = {
 
 let majority ~n = (n / 2) + 1
 
+(* Crash faults are benign: a crashed-and-recovered authority is held
+   to the same agreement obligations as an always-up honest one. *)
+let correct_behavior = function
+  | Honest | Crashed _ -> true
+  | Silent | Equivocating -> false
+
 let honest_results env result =
   List.filter_map
     (fun i ->
-      if env.behaviors.(i) = Honest then Some result.per_authority.(i) else None)
+      if correct_behavior env.behaviors.(i) then Some result.per_authority.(i)
+      else None)
     (List.init env.n Fun.id)
 
 let success env result =
@@ -226,4 +268,23 @@ let apply_attacks env net =
     (fun a ->
       Sim.Net.limit_node net ~node:a.node ~start:a.start ~stop:a.stop
         ~bits_per_sec:a.bits_per_sec)
-    env.attacks
+    env.attacks;
+  (* Install the fault injector.  Crash-window behaviors compile to
+     [Fault.Crash] entries so the network suppresses the node's sends
+     and deliveries during the window, whatever the protocol on top;
+     the driver only has to time the node's own actions (see
+     {!awake}).  The merged plan is a pure function of the spec, so
+     the injector's RNG stream is too. *)
+  let behavior_crashes =
+    List.concat_map
+      (fun i ->
+        match env.behaviors.(i) with
+        | Crashed { start; stop } ->
+            [ { Sim.Fault.kind = Sim.Fault.Crash { node = i }; start; stop } ]
+        | Honest | Silent | Equivocating -> [])
+      (List.init env.n Fun.id)
+  in
+  let base = Option.value env.fault_plan ~default:Sim.Fault.empty in
+  let merged = { base with Sim.Fault.faults = base.Sim.Fault.faults @ behavior_crashes } in
+  if merged.Sim.Fault.faults <> [] then
+    Sim.Net.set_fault net (Sim.Fault.instantiate merged)

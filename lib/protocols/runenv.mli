@@ -14,8 +14,13 @@ type attack = {
 
 type behavior =
   | Honest
-  | Silent        (** sends nothing at all — a crashed authority *)
+  | Silent        (** sends nothing at all, ever — a dead authority *)
   | Equivocating  (** sends conflicting documents to different peers *)
+  | Crashed of { start : Tor_sim.Simtime.t; stop : Tor_sim.Simtime.t }
+      (** down during [\[start, stop)], then recovers: the network
+          suppresses its traffic during the window (via a compiled
+          {!Tor_sim.Fault.Crash} entry) and the protocol drivers defer
+          a node crashed at time 0 until its recovery instant. *)
 
 type t = {
   n : int;
@@ -26,8 +31,18 @@ type t = {
   bandwidth_bits_per_sec : float;    (** base NIC rate, all authorities *)
   attacks : attack list;
   behaviors : behavior array;
+  fault_plan : Tor_sim.Fault.plan option; (** injected network faults *)
   horizon : Tor_sim.Simtime.t;       (** stop simulating at this time *)
 }
+
+val awake : t -> int -> now:Tor_sim.Simtime.t -> bool
+(** Whether authority [id] processes events at [now]: [false] for
+    [Silent] always and for [Crashed] inside its window.  The drivers
+    guard message handlers and scheduled round actions with this
+    instead of hard-coding [Silent]'s permanence. *)
+
+val participates : behavior -> bool
+(** [false] only for [Silent] — the node never takes part. *)
 
 (** Declarative run specification: the serializable description of an
     environment.  A [Spec.t] carries everything [of_spec] needs to
@@ -44,6 +59,10 @@ module Spec : sig
     attacks : attack list;
     behaviors : behavior array option; (** [None] = all honest *)
     divergence : Dirdoc.Workload.divergence option;
+    fault_plan : Tor_sim.Fault.plan option;
+        (** injected network faults; [None] = fault-free.  Participates
+            in {!canonical}/{!digest} so cached sweep results keyed on a
+            digest never conflate faulty and fault-free runs. *)
     horizon : Tor_sim.Simtime.t;
   }
 
@@ -84,6 +103,7 @@ val make :
   ?attacks:attack list ->
   ?behaviors:behavior array ->
   ?divergence:Dirdoc.Workload.divergence ->
+  ?fault_plan:Tor_sim.Fault.plan ->
   ?horizon:Tor_sim.Simtime.t ->
   ?votes:Dirdoc.Vote.t array ->
   unit ->
@@ -116,11 +136,13 @@ val majority : n:int -> int
 val success : t -> run_result -> bool
 (** A run succeeds when at least a majority of honest authorities
     produced the same consensus document carrying at least a majority
-    of signatures. *)
+    of signatures.  Crashed-and-recovered authorities count as honest;
+    [Silent] and [Equivocating] ones do not. *)
 
 val agreement_holds : t -> run_result -> bool
-(** No two honest authorities decided different documents (vacuously
-    true when fewer than two decided). *)
+(** No two honest (including crash-recovered) authorities decided
+    different documents (vacuously true when fewer than two decided) —
+    the chaos harness's safety invariant. *)
 
 val success_latency : run_result -> Tor_sim.Simtime.t option
 (** Largest [network_time] among deciding authorities — the series
@@ -131,7 +153,10 @@ val decided_at_latest : run_result -> Tor_sim.Simtime.t option
     time plotted in Figure 11. *)
 
 val apply_attacks : t -> 'm Tor_sim.Net.t -> unit
-(** Install every attack window on the network's NICs. *)
+(** Install every attack window on the network's NICs, and install the
+    environment's fault injector ({!Spec.t.fault_plan} plus one
+    {!Tor_sim.Fault.Crash} entry per [Crashed] behavior) on the
+    network.  Call once, before the first send. *)
 
 val default_valid_after : float
 (** POSIX time of the simulated consensus hour (2026-01-01 01:00). *)

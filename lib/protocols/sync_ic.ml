@@ -138,7 +138,7 @@ let run (env : Runenv.t) =
   in
   Sim.Net.set_handler net (fun ~dst ~src msg ->
       let node = nodes.(dst) in
-      if env.behaviors.(dst) <> Runenv.Silent then
+      if Runenv.awake env dst ~now:(now ()) then
         match msg with
         | Ds_vote { origin; vote; chain } ->
             if now () <= 2. *. round_seconds then accept_vote node ~origin ~vote ~chain
@@ -152,6 +152,17 @@ let run (env : Runenv.t) =
                   (Sig_push { digest = Dirdoc.Consensus.digest c; signature })
             | _ -> ()));
   (* Round 1-2: Dolev-Strong broadcast of every vote. -------------------- *)
+  let broadcast_own_vote node =
+    let id = node.id in
+    node.accepted.(id) <- Some env.votes.(id);
+    node.echoed.(id) <- true;
+    let digest = Dirdoc.Vote.digest env.votes.(id) in
+    let own =
+      Signature.sign env.keyring ~signer:id (chain_payload ~origin:id digest)
+    in
+    broadcast ~src:id ~label:lbl_ds_vote
+      (Ds_vote { origin = id; vote = env.votes.(id); chain = [ own ] })
+  in
   Array.iter
     (fun node ->
       let id = node.id in
@@ -159,15 +170,16 @@ let run (env : Runenv.t) =
         (Sim.Engine.schedule engine ~at:0. (fun () ->
              match env.behaviors.(id) with
              | Runenv.Silent -> ()
-             | Runenv.Honest ->
-                 node.accepted.(id) <- Some env.votes.(id);
-                 node.echoed.(id) <- true;
-                 let digest = Dirdoc.Vote.digest env.votes.(id) in
-                 let own =
-                   Signature.sign env.keyring ~signer:id (chain_payload ~origin:id digest)
-                 in
-                 broadcast ~src:id ~label:lbl_ds_vote
-                   (Ds_vote { origin = id; vote = env.votes.(id); chain = [ own ] })
+             | Runenv.Honest -> broadcast_own_vote node
+             | Runenv.Crashed { start; stop } ->
+                 if start > 0. then broadcast_own_vote node
+                 else
+                   (* Crashed through the vote instant: broadcast on
+                      recovery; peers only accept it while the
+                      dissemination rounds are still open. *)
+                   ignore
+                     (Sim.Engine.schedule engine ~at:stop (fun () ->
+                          broadcast_own_vote node))
              | Runenv.Equivocating ->
                  node.accepted.(id) <- Some env.votes.(id);
                  node.echoed.(id) <- true;
@@ -198,7 +210,7 @@ let run (env : Runenv.t) =
     (fun node ->
       ignore
         (Sim.Engine.schedule engine ~at:(2. *. round_seconds) (fun () ->
-             if env.behaviors.(node.id) = Runenv.Silent then ()
+             if not (Runenv.awake env node.id ~now:(now ())) then ()
              else begin
                let held =
                  List.filter_map
@@ -225,7 +237,7 @@ let run (env : Runenv.t) =
     (fun node ->
       ignore
         (Sim.Engine.schedule engine ~at:(3. *. round_seconds) (fun () ->
-             if env.behaviors.(node.id) <> Runenv.Silent
+             if Runenv.awake env node.id ~now:(now ())
                 && Siground.consensus node.sig_round <> None
                 && Siground.count node.sig_round < need
              then broadcast ~src:node.id ~label:lbl_sig_request Sig_request)))

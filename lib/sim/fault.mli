@@ -1,0 +1,101 @@
+(** Deterministic fault injection for the message network.
+
+    A {!plan} is a serializable description of network and node faults:
+    probabilistic per-link loss windows, bidirectional link partitions,
+    per-message extra-delay jitter, message duplication, and per-node
+    crash/recover windows.  {!Net} interposes an instantiated plan on
+    every send and delivery, so each protocol driver inherits the whole
+    fault model without code of its own.
+
+    All randomness is drawn from an {!Rng} stream keyed off the plan's
+    canonical serialization, and draws happen in simulated-event order,
+    so a (spec, plan) pair replays bit-identically — across processes
+    and across worker counts.
+
+    Window convention: a fault is active while [start <= now < stop]
+    (half-open, like the NIC's {!Nic.limit_window}). *)
+
+type kind =
+  | Drop of { src : int; dst : int; prob : float }
+      (** Lose each [src]→[dst] message with probability [prob] at
+          send time ([any] is a wildcard endpoint).  The egress bytes
+          are still charged — the packet died in the network, not in
+          the sender's queue. *)
+  | Partition of { a : int; b : int }
+      (** Cut the [a]↔[b] link in both directions. *)
+  | Delay of { src : int; dst : int; max_extra : float }
+      (** Add uniform [\[0, max_extra)] seconds of extra propagation
+          latency to each matching message. *)
+  | Duplicate of { src : int; dst : int; prob : float }
+      (** Deliver each matching message twice with probability [prob]
+          (same arrival instant; models retransmission races). *)
+  | Crash of { node : int }
+      (** The node is down: its sends are suppressed and messages
+          arriving at it are discarded. *)
+
+type fault = { kind : kind; start : float; stop : float }
+
+type plan = { seed : string; faults : fault list }
+(** [seed] salts the plan's RNG stream so two plans with identical
+    fault lists can still diverge. *)
+
+val any : int
+(** Wildcard endpoint ([-1]): matches every node id. *)
+
+val empty : plan
+
+val fault_nodes : fault -> int list
+(** Node ids the fault names ([any] excluded). *)
+
+val crash_nodes : plan -> int list
+(** Sorted, de-duplicated ids of nodes with a [Crash] window. *)
+
+val clears_at : plan -> float
+(** Largest [stop] over the plan's faults ([0.] for {!empty}) — after
+    this instant the network is fault-free. *)
+
+val validate : n:int -> plan -> unit
+(** Raises [Invalid_argument] on an endpoint outside [\[0, n)] (other
+    than [any]), a window with [stop < start], or a probability
+    outside [\[0, 1\]]. *)
+
+val canonical : plan -> string
+(** Canonical serialization (floats rendered losslessly with [%h]);
+    structurally equal plans serialize identically.  Feeds
+    {!Runenv.Spec.canonical} so fault plans participate in job
+    digests. *)
+
+val digest : plan -> string
+(** SHA-256 of {!canonical}, 64 hex characters. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+val pp : Format.formatter -> plan -> unit
+(** One-line rendering, e.g.
+    [drop[2>*,0..30,p=0.40] crash[1,10..60]] — the repro line chaos
+    prints for a shrunk counterexample. *)
+
+(** {1 Runtime injector} *)
+
+type t
+(** An instantiated plan: the fault list plus the plan-keyed RNG
+    stream.  One injector serves exactly one run; instantiate a fresh
+    one per simulation so streams never leak across runs. *)
+
+val instantiate : plan -> t
+val plan : t -> plan
+
+type decision = {
+  drop : bool;
+  extra_delay : float;
+  duplicate : bool;
+}
+
+val pass : decision
+(** No interference: [{drop = false; extra_delay = 0.; duplicate = false}]. *)
+
+val decide : t -> now:float -> src:int -> dst:int -> decision
+(** Link-level verdict for one message sent at [now].  Consumes RNG
+    for each matching probabilistic fault, in fault-list order. *)
+
+val crashed : t -> node:int -> now:float -> bool
+(** Whether [node] is inside one of its crash windows at [now]. *)

@@ -14,11 +14,17 @@ let stage_arrival = 1 (* reserve ingress on the receiver's NIC *)
 let stage_finish = 2 (* ingress done: deliver *)
 let stage_finish_expired = 3 (* ingress done but past the deadline: drop *)
 
+(* The stage field carries one flag bit above the 2-bit stage: a
+   fault-injected duplicate delivers its payload twice at finish. *)
+let flag_duplicate = 4
+let stage_of bits = bits land 3
+
 type 'm t = {
   engine : Engine.t;
   topology : Topology.t;
   nics : Nic.t array; (* one shared NIC per node: egress and ingress *)
   stats : Stats.t;
+  mutable fault : Fault.t option; (* installed injector, if any *)
   mutable handler : (dst:int -> src:int -> 'm -> unit) option;
   mutable trampoline : Engine.callback option;
   (* flight pool, struct-of-arrays *)
@@ -27,6 +33,7 @@ type 'm t = {
   mutable fl_dst : int array;
   mutable fl_size : int array;
   mutable fl_stage : int array;
+  mutable fl_label : Stats.label array; (* interned label, for drop accounting *)
   mutable fl_sent_at : float array;
   mutable fl_deadline : float array; (* nan: no deadline *)
   mutable fl_next : int array; (* free-list links *)
@@ -47,6 +54,9 @@ let nic t id =
 
 let set_handler t f = t.handler <- Some f
 
+let set_fault t fault = t.fault <- Some fault
+let fault t = t.fault
+
 let deliver t ~dst ~src msg =
   match t.handler with
   | None -> failwith "Net.deliver: no handler installed"
@@ -66,6 +76,10 @@ let alloc_flight t msg =
     t.fl_dst <- grow_int t.fl_dst;
     t.fl_size <- grow_int t.fl_size;
     t.fl_stage <- grow_int t.fl_stage;
+    t.fl_label <-
+      (let b = Array.make fresh Stats.no_label in
+       Array.blit t.fl_label 0 b 0 t.fl_len;
+       b);
     t.fl_sent_at <- grow_float t.fl_sent_at;
     t.fl_deadline <- grow_float t.fl_deadline;
     t.fl_next <- grow_int t.fl_next;
@@ -84,12 +98,21 @@ let release_flight t fl =
   t.fl_next.(fl) <- t.fl_free;
   t.fl_free <- fl
 
+(* Whether [node] is inside an injected crash window right now. *)
+let crashed_now t node =
+  match t.fault with
+  | None -> false
+  | Some fa -> Fault.crashed fa ~node ~now:(Engine.now t.engine)
+
 let trampoline t fl =
-  let stage = t.fl_stage.(fl) in
+  let bits = t.fl_stage.(fl) in
+  let stage = stage_of bits in
   if stage = stage_self then begin
     let src = t.fl_src.(fl) and dst = t.fl_dst.(fl) and msg = t.fl_msg.(fl) in
+    let label = t.fl_label.(fl) in
     release_flight t fl;
-    deliver t ~dst ~src msg
+    if crashed_now t dst then Stats.record_drop t.stats ~node:dst ~label
+    else deliver t ~dst ~src msg
   end
   else if stage = stage_arrival then begin
     let dst = t.fl_dst.(fl) and size = t.fl_size.(fl) in
@@ -98,7 +121,7 @@ let trampoline t fl =
        happen in arrival order, not send order. *)
     let finish = Nic.reserve t.nics.(dst) ~now:arrival ~bytes:size in
     if Simtime.is_infinite finish then begin
-      Stats.record_dropped t.stats;
+      Stats.record_drop t.stats ~node:dst ~label:t.fl_label.(fl);
       release_flight t fl
     end
     else begin
@@ -106,7 +129,9 @@ let trampoline t fl =
       let expired =
         (not (Float.is_nan deadline)) && finish -. t.fl_sent_at.(fl) > deadline
       in
-      t.fl_stage.(fl) <- (if expired then stage_finish_expired else stage_finish);
+      t.fl_stage.(fl) <-
+        (if expired then stage_finish_expired else stage_finish)
+        lor (bits land flag_duplicate);
       match t.trampoline with
       | Some cb -> ignore (Engine.schedule_call t.engine ~at:finish cb fl)
       | None -> assert false
@@ -114,15 +139,24 @@ let trampoline t fl =
   end
   else begin
     (* stage_finish / stage_finish_expired *)
-    Stats.record_received t.stats ~node:t.fl_dst.(fl) ~bytes:t.fl_size.(fl);
+    let dst = t.fl_dst.(fl) and label = t.fl_label.(fl) in
+    Stats.record_received t.stats ~node:dst ~bytes:t.fl_size.(fl);
     if stage = stage_finish_expired then begin
-      Stats.record_dropped t.stats;
+      Stats.record_drop t.stats ~node:dst ~label;
+      release_flight t fl
+    end
+    else if crashed_now t dst then begin
+      (* The receiver is inside a crash window when ingress completes:
+         the message reached a dead node. *)
+      Stats.record_drop t.stats ~node:dst ~label;
       release_flight t fl
     end
     else begin
-      let src = t.fl_src.(fl) and dst = t.fl_dst.(fl) and msg = t.fl_msg.(fl) in
+      let src = t.fl_src.(fl) and msg = t.fl_msg.(fl) in
+      let duplicate = bits land flag_duplicate <> 0 in
       release_flight t fl;
-      deliver t ~dst ~src msg
+      deliver t ~dst ~src msg;
+      if duplicate then deliver t ~dst ~src msg
     end
   end
 
@@ -134,6 +168,7 @@ let create ~engine ~topology ~bits_per_sec () =
       topology;
       nics = Array.init n (fun _ -> Nic.create ~bits_per_sec ());
       stats = Stats.create ~n;
+      fault = None;
       handler = None;
       trampoline = None;
       fl_msg = [||];
@@ -141,6 +176,7 @@ let create ~engine ~topology ~bits_per_sec () =
       fl_dst = [||];
       fl_size = [||];
       fl_stage = [||];
+      fl_label = [||];
       fl_sent_at = [||];
       fl_deadline = [||];
       fl_next = [||];
@@ -159,26 +195,49 @@ let the_trampoline t =
    caller has validated the node ids. *)
 let send_msg t ~src ~dst ~size ~label ~deadline msg =
   let now = Engine.now t.engine in
-  if src = dst then begin
+  if (match t.fault with Some fa -> Fault.crashed fa ~node:src ~now | None -> false)
+  then
+    (* A down node transmits nothing: no bytes charged, the message
+       simply never existed on the wire. *)
+    Stats.record_drop t.stats ~node:dst ~label
+  else if src = dst then begin
     (* Local delivery: no bandwidth cost, but still asynchronous so
        handlers never reenter the caller. *)
     let fl = alloc_flight t msg in
     t.fl_src.(fl) <- src;
     t.fl_dst.(fl) <- dst;
     t.fl_stage.(fl) <- stage_self;
+    t.fl_label.(fl) <- label;
     ignore (Engine.schedule_call t.engine ~at:now (the_trampoline t) fl)
   end
   else begin
     Stats.record_send t.stats ~node:src ~bytes:size ~label;
+    (* Link-fault verdict at send time: RNG draws happen in send order,
+       which the engine makes deterministic. *)
+    let decision =
+      match t.fault with
+      | None -> Fault.pass
+      | Some fa -> Fault.decide fa ~now ~src ~dst
+    in
     let egress_done = Nic.reserve t.nics.(src) ~now ~bytes:size in
-    if Simtime.is_infinite egress_done then Stats.record_dropped t.stats
+    if Simtime.is_infinite egress_done then
+      Stats.record_drop t.stats ~node:dst ~label
+    else if decision.Fault.drop then
+      (* Lost in the network after transmission: egress was charged,
+         no arrival is scheduled. *)
+      Stats.record_drop t.stats ~node:dst ~label
     else begin
-      let arrival = Simtime.add egress_done (Topology.latency t.topology ~src ~dst) in
+      let arrival =
+        Simtime.add egress_done (Topology.latency t.topology ~src ~dst)
+        +. decision.Fault.extra_delay
+      in
       let fl = alloc_flight t msg in
       t.fl_src.(fl) <- src;
       t.fl_dst.(fl) <- dst;
       t.fl_size.(fl) <- size;
-      t.fl_stage.(fl) <- stage_arrival;
+      t.fl_stage.(fl) <-
+        (stage_arrival lor if decision.Fault.duplicate then flag_duplicate else 0);
+      t.fl_label.(fl) <- label;
       t.fl_sent_at.(fl) <- now;
       t.fl_deadline.(fl) <- deadline;
       ignore (Engine.schedule_call t.engine ~at:arrival (the_trampoline t) fl)

@@ -6,10 +6,15 @@
     order).  Each node has a single NIC shared by both directions,
     modelling a DDoS-saturated access link whose residual capacity is
     one budget (the per-node bandwidth the paper's Shadow runs
-    configure).  Channels are reliable: a message outlives a DDoS window
-    and drains when bandwidth returns, modelling TCP retransmission —
-    the partial-synchrony "eventual delivery" abstraction.  A message
-    is dropped only if a NIC's rate is zero with no future breakpoint.
+    configure).  Channels are reliable by default: a message outlives a
+    DDoS window and drains when bandwidth returns, modelling TCP
+    retransmission — the partial-synchrony "eventual delivery"
+    abstraction.  Without an installed {!Fault} injector, a message is
+    dropped only if a NIC's rate is zero with no future breakpoint.
+
+    {!set_fault} interposes a fault injector on the send and delivery
+    paths: loss, partitions, jitter, duplication, and crash windows
+    then apply to every protocol built on the network (DESIGN.md §8).
 
     The payload type ['m] is chosen by the protocol layered on top. *)
 
@@ -34,6 +39,25 @@ val nic : 'm t -> int -> Nic.t
 val set_handler : 'm t -> (dst:int -> src:int -> 'm -> unit) -> unit
 (** Install the delivery callback.  Must be set before any delivery
     fires; the last installed handler wins. *)
+
+val set_fault : 'm t -> Fault.t -> unit
+(** Install a fault injector; install before the first send so the
+    injector's RNG stream covers the whole run.  Semantics per message
+    (fault windows are checked against the send instant for link
+    faults, the delivery instant for receiver crashes):
+    {ul
+    {- a crashed sender transmits nothing (no bytes charged);}
+    {- a dropped or partitioned message is charged to the sender's
+       egress but never arrives;}
+    {- jitter adds extra propagation latency;}
+    {- a duplicated message is delivered twice at the same instant;}
+    {- a message finishing ingress at a crashed receiver is
+       discarded.}}
+    Every loss is counted via {!Stats.record_drop} under the message's
+    label. *)
+
+val fault : 'm t -> Fault.t option
+(** The installed injector, if any. *)
 
 val send :
   'm t ->

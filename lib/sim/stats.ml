@@ -7,6 +7,7 @@ type t = {
   bytes_received : int array;
   messages_sent : int array;
   mutable dropped : int;
+  dropped_at : int array; (* per intended recipient *)
   (* Interned labels: dense ids into parallel arrays.  The per-send
      accounting is then one array add — the old string-keyed [Hashtbl]
      probe (hashing the label on every send) is paid once, at
@@ -14,6 +15,7 @@ type t = {
   intern_table : (string, int) Hashtbl.t;
   mutable label_names : string array;
   mutable label_counts : int array;
+  mutable label_drops : int array; (* dropped messages per label *)
   mutable label_used : bool array; (* recorded at least once since reset *)
   mutable n_labels : int;
 }
@@ -24,9 +26,11 @@ let create ~n =
     bytes_received = Array.make n 0;
     messages_sent = Array.make n 0;
     dropped = 0;
+    dropped_at = Array.make n 0;
     intern_table = Hashtbl.create 16;
     label_names = [||];
     label_counts = [||];
+    label_drops = [||];
     label_used = [||];
     n_labels = 0;
   }
@@ -41,17 +45,21 @@ let intern t name =
         let fresh = max 8 (2 * t.n_labels) in
         let names = Array.make fresh "" in
         let counts = Array.make fresh 0 in
+        let drops = Array.make fresh 0 in
         let used = Array.make fresh false in
         Array.blit t.label_names 0 names 0 t.n_labels;
         Array.blit t.label_counts 0 counts 0 t.n_labels;
+        Array.blit t.label_drops 0 drops 0 t.n_labels;
         Array.blit t.label_used 0 used 0 t.n_labels;
         t.label_names <- names;
         t.label_counts <- counts;
+        t.label_drops <- drops;
         t.label_used <- used
       end;
       let id = t.n_labels in
       t.label_names.(id) <- name;
       t.label_counts.(id) <- 0;
+      t.label_drops.(id) <- 0;
       t.label_used.(id) <- false;
       t.n_labels <- t.n_labels + 1;
       Hashtbl.replace t.intern_table name id;
@@ -73,17 +81,34 @@ let record_sent t ~node ~bytes ?(label = no_label) () =
 let record_received t ~node ~bytes =
   t.bytes_received.(node) <- t.bytes_received.(node) + bytes
 
-let record_dropped t = t.dropped <- t.dropped + 1
+(* Allocation-free drop accounting: [node] is the intended recipient
+   (or [-1] when unattributable), [label] an interned id or
+   [no_label]. *)
+let record_drop t ~node ~label =
+  t.dropped <- t.dropped + 1;
+  if node >= 0 then t.dropped_at.(node) <- t.dropped_at.(node) + 1;
+  if label >= 0 then begin
+    t.label_drops.(label) <- t.label_drops.(label) + 1;
+    t.label_used.(label) <- true
+  end
+
+let record_dropped t = record_drop t ~node:(-1) ~label:no_label
 
 let bytes_sent t node = t.bytes_sent.(node)
 let bytes_received t node = t.bytes_received.(node)
 let messages_sent t node = t.messages_sent.(node)
 let dropped t = t.dropped
+let dropped_at t node = t.dropped_at.(node)
 let total_bytes_sent t = Array.fold_left ( + ) 0 t.bytes_sent
 
 let label_bytes t name =
   match Hashtbl.find_opt t.intern_table name with
   | Some id -> t.label_counts.(id)
+  | None -> 0
+
+let label_dropped t name =
+  match Hashtbl.find_opt t.intern_table name with
+  | Some id -> t.label_drops.(id)
   | None -> 0
 
 let labels t =
@@ -95,11 +120,21 @@ let labels t =
   done;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
+let dropped_labels t =
+  let acc = ref [] in
+  for id = t.n_labels - 1 downto 0 do
+    if t.label_drops.(id) > 0 then
+      acc := (t.label_names.(id), t.label_drops.(id)) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
 let reset t =
   Array.fill t.bytes_sent 0 (n t) 0;
   Array.fill t.bytes_received 0 (n t) 0;
   Array.fill t.messages_sent 0 (n t) 0;
   t.dropped <- 0;
+  Array.fill t.dropped_at 0 (n t) 0;
   (* Interned ids stay valid across reset; only the counts clear. *)
   Array.fill t.label_counts 0 t.n_labels 0;
+  Array.fill t.label_drops 0 t.n_labels 0;
   Array.fill t.label_used 0 t.n_labels false

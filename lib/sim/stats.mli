@@ -32,12 +32,25 @@ val record_sent : t -> node:int -> bytes:int -> ?label:label -> unit -> unit
 (** Optional-argument convenience over {!record_send}. *)
 
 val record_received : t -> node:int -> bytes:int -> unit
+
+val record_drop : t -> node:int -> label:label -> unit
+(** Count one lost message: [node] is the intended recipient ([-1]
+    when unattributable), [label] the message's interned label or
+    {!no_label}.  Allocation-free, like {!record_send}. *)
+
 val record_dropped : t -> unit
+(** [record_drop] with no recipient and no label. *)
 
 val bytes_sent : t -> int -> int
 val bytes_received : t -> int -> int
 val messages_sent : t -> int -> int
+
 val dropped : t -> int
+(** Total messages lost, whatever the cause (dead NIC, transport
+    deadline, injected fault). *)
+
+val dropped_at : t -> int -> int
+(** Messages lost on their way to a node. *)
 
 val total_bytes_sent : t -> int
 (** Sum over all nodes; the paper's communication-complexity metric. *)
@@ -48,6 +61,13 @@ val label_bytes : t -> string -> int
 val labels : t -> (string * int) list
 (** Labels recorded since the last reset with their byte counts,
     sorted by label. *)
+
+val label_dropped : t -> string -> int
+(** Messages dropped under a label ([0] for unknown labels). *)
+
+val dropped_labels : t -> (string * int) list
+(** Labels with at least one dropped message since the last reset,
+    with their drop counts, sorted by label. *)
 
 val reset : t -> unit
 (** Clear every counter.  Interned ids remain valid. *)

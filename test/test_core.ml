@@ -216,6 +216,45 @@ let test_protocol_two_silent () =
       end)
     detailed.Protocol.vectors
 
+let test_protocol_silent_leader () =
+  (* Node 0 leads view 0 of HotStuff.  With it silent the protocol must
+     rotate views until a live leader drives agreement through. *)
+  let env = R.make ~n_relays:200 ~behaviors:(behaviors_with [ (0, R.Silent) ]) () in
+  let detailed = Protocol.run_detailed env in
+  checkb "success despite silent leader" true (R.success env detailed.Protocol.result);
+  Array.iteri
+    (fun i view ->
+      match view with
+      | Some v when i <> 0 ->
+          checkb (Printf.sprintf "node %d decided past view 0" i) true (v > 0)
+      | _ -> ())
+    detailed.Protocol.decided_views;
+  checkb "some view advanced" true
+    (Array.exists (fun v -> v <> None) detailed.Protocol.decided_views)
+
+let test_protocol_crashed_leader () =
+  (* The view-0 leader is down through the whole dissemination and
+     agreement phase, then recovers.  Liveness must not depend on it:
+     the other eight authorities rotate leaders and finish without
+     it. *)
+  let env =
+    R.make ~n_relays:200
+      ~behaviors:(behaviors_with [ (0, R.Crashed { start = 0.; stop = 400. }) ])
+      ()
+  in
+  let detailed = Protocol.run_detailed env in
+  let result = detailed.Protocol.result in
+  checkb "success despite crashed leader" true (R.success env result);
+  checkb "agreement holds" true (R.agreement_holds env result);
+  (* Crash-recovered authorities count as honest, so agreement_holds
+     also constrains whatever node 0 decides after it comes back. *)
+  List.iter
+    (fun i ->
+      match detailed.Protocol.decided_views.(i) with
+      | Some v -> checkb (Printf.sprintf "node %d rotated views" i) true (v > 0)
+      | None -> Alcotest.failf "node %d never decided" i)
+    [ 1; 3; 5 ]
+
 let test_protocol_three_silent_blocks () =
   (* f+1 = 3 silent: below the agreement quorum, the protocol must not
      decide (but also must not decide inconsistently). *)
@@ -378,6 +417,7 @@ let test_scenario_directives () =
      bandwidth 10\n\
      seed my-seed\n\
      behavior 2 silent\n\
+     behavior 4 crashed:30:120\n\
      attack 7 10 20 1.5\n\
      knockout-majority 0 300\n"
   in
@@ -386,6 +426,8 @@ let test_scenario_directives () =
   | Ok sc ->
       let env = sc.Torpartial.Scenario.env in
       checkb "behavior applied" true (env.R.behaviors.(2) = R.Silent);
+      checkb "crash window parsed" true
+        (env.R.behaviors.(4) = R.Crashed { start = 30.; stop = 120. });
       checki "six windows" 6 (List.length env.R.attacks);
       checkb "bandwidth" true (env.R.bandwidth_bits_per_sec = 10e6)
 
@@ -401,6 +443,9 @@ let test_scenario_errors () =
   ignore (expect_error "protocol alien");
   ignore (expect_error "relays many");
   ignore (expect_error "behavior 42 silent");
+  ignore (expect_error "behavior 1 crashed:120:30" (* stop before start *));
+  ignore (expect_error "behavior 1 crashed:soon:later");
+  ignore (expect_error "behavior 1 crashed:30" (* missing stop *));
   ignore (expect_error "attack 0 10 5 1.0" (* stop before start *))
 
 let test_scenario_runs () =
@@ -424,6 +469,8 @@ let suite =
     ("protocol: low bandwidth survival", `Slow, test_protocol_low_bandwidth);
     ("protocol: equivocating authority", `Quick, test_protocol_equivocator);
     ("protocol: two silent authorities", `Quick, test_protocol_two_silent);
+    ("protocol: silent hotstuff leader", `Quick, test_protocol_silent_leader);
+    ("protocol: crashed hotstuff leader recovers", `Quick, test_protocol_crashed_leader);
     ("protocol: f+1 silent blocks safely", `Quick, test_protocol_three_silent_blocks);
     QCheck_alcotest.to_alcotest qcheck_definition_5_1;
     ("experiments: exact cost figures", `Quick, test_cost_rows_exact);

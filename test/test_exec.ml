@@ -28,6 +28,30 @@ let test_spec_digest_stability () =
         R.Spec.default with
         R.Spec.divergence = Some Dirdoc.Workload.default_divergence;
       };
+      {
+        R.Spec.default with
+        R.Spec.behaviors =
+          Some
+            (let b = Array.make 9 R.Honest in
+             b.(0) <- R.Crashed { start = 10.; stop = 60. };
+             b);
+      };
+      {
+        R.Spec.default with
+        R.Spec.fault_plan =
+          Some
+            {
+              Tor_sim.Fault.seed = "variant";
+              faults =
+                [
+                  {
+                    Tor_sim.Fault.kind = Tor_sim.Fault.Drop { src = 0; dst = 1; prob = 0.5 };
+                    start = 0.;
+                    stop = 60.;
+                  };
+                ];
+            };
+      };
     ]
   in
   List.iteri
@@ -180,6 +204,37 @@ let test_run_job_cached () =
   checkb "same outcome object from the cache" true (o1 == o2);
   checkb "key matches the job" true (o1.Exec.Job.key = Exec.Job.key job)
 
+(* --- Chaos ------------------------------------------------------------------ *)
+
+let chaos_config =
+  (* Small network so the full campaign (3 protocols x plans x 2 worker
+     counts) stays test-sized. *)
+  { Exec.Chaos.default_config with Exec.Chaos.seed = "chaos-test"; plans = 6; n_relays = 100 }
+
+let test_chaos_jobs_determinism () =
+  let run jobs = Exec.Chaos.check ~config:chaos_config ~run_protocol:E.run ~jobs () in
+  let r1 = run 1 in
+  let r3 = run 3 in
+  checkb "verdicts independent of worker count" true
+    (r1.Exec.Chaos.verdicts = r3.Exec.Chaos.verdicts);
+  checki "one verdict per plan" chaos_config.Exec.Chaos.plans
+    (List.length r1.Exec.Chaos.verdicts);
+  checki "no safety violations" 0 r1.Exec.Chaos.safety_violations;
+  checki "no liveness violations" 0 r1.Exec.Chaos.liveness_violations
+
+let test_chaos_breaks_current () =
+  (* Regression pin: sampled case 15 of the default campaign (seed
+     "chaos") breaks the deployed v3 protocol — its only fault plus two
+     misbehaving authorities push v3 below the vote majority — while
+     the partial-synchrony protocol rides it out. *)
+  let spec = Exec.Chaos.sample_spec Exec.Chaos.default_config ~index:15 in
+  let env = R.of_spec spec in
+  let current = E.run E.Current env in
+  let ours = E.run E.Ours env in
+  checkb "current v3 fails" false (R.success env current);
+  checkb "ours succeeds" true (R.success env ours);
+  checkb "ours agreement holds" true (R.agreement_holds env ours)
+
 let suite =
   [
     ("spec: digest stability", `Quick, test_spec_digest_stability);
@@ -194,4 +249,6 @@ let suite =
     ("sweep: fig10 sub-grid determinism jobs=1 vs jobs=4", `Slow,
       test_fig10_subgrid_determinism);
     ("sweep: run_job memoizes by spec digest", `Quick, test_run_job_cached);
+    ("chaos: verdicts independent of jobs", `Slow, test_chaos_jobs_determinism);
+    ("chaos: sampled plan breaks current v3", `Quick, test_chaos_breaks_current);
   ]

@@ -608,6 +608,172 @@ let test_net_determinism () =
   in
   checkb "identical runs" true (run () = run ())
 
+(* --- Fault injection -------------------------------------------------------- *)
+
+let fault_plan faults = { Fault.seed = "test"; faults }
+
+let with_fault ?(n = 3) ?(bits_per_sec = 1e9) ?(latency = 0.01) faults =
+  let engine, net = make_net ~n ~bits_per_sec ~latency () in
+  Net.set_fault net (Fault.instantiate (fault_plan faults));
+  (engine, net)
+
+let test_fault_drop_window () =
+  (* Certain loss inside [10, 20): the window is half-open, judged at
+     send time. *)
+  let engine, net =
+    with_fault [ { Fault.kind = Fault.Drop { src = 0; dst = 1; prob = 1. }; start = 10.; stop = 20. } ]
+  in
+  let arrived = ref [] in
+  Net.set_handler net (fun ~dst:_ ~src:_ msg -> arrived := msg :: !arrived);
+  List.iter
+    (fun (at, msg) ->
+      ignore
+        (Engine.schedule engine ~at (fun () -> Net.send net ~src:0 ~dst:1 ~size:10 msg)))
+    [ (9.99, "before"); (10., "at-start"); (15., "inside"); (20., "at-stop") ];
+  Engine.run engine;
+  checkb "half-open window" true (List.sort compare !arrived = [ "at-stop"; "before" ]);
+  checki "drops counted" 2 (Stats.dropped (Net.stats net))
+
+let test_fault_drop_never () =
+  let engine, net =
+    with_fault [ { Fault.kind = Fault.Drop { src = Fault.any; dst = Fault.any; prob = 0. }; start = 0.; stop = 100. } ]
+  in
+  let arrived = ref 0 in
+  Net.set_handler net (fun ~dst:_ ~src:_ _ -> incr arrived);
+  for _ = 1 to 20 do
+    Net.send net ~src:0 ~dst:1 ~size:10 ()
+  done;
+  Engine.run engine;
+  checki "p=0 never drops" 20 !arrived
+
+let test_fault_partition_bidirectional () =
+  let engine, net =
+    with_fault [ { Fault.kind = Fault.Partition { a = 0; b = 1 }; start = 0.; stop = 100. } ]
+  in
+  let arrived = ref [] in
+  Net.set_handler net (fun ~dst ~src _ -> arrived := (src, dst) :: !arrived);
+  Net.send net ~src:0 ~dst:1 ~size:10 ();
+  Net.send net ~src:1 ~dst:0 ~size:10 ();
+  Net.send net ~src:0 ~dst:2 ~size:10 ();
+  Net.send net ~src:2 ~dst:1 ~size:10 ();
+  Engine.run engine;
+  checkb "only the cut link lost" true
+    (List.sort compare !arrived = [ (0, 2); (2, 1) ])
+
+let test_fault_delay () =
+  let run faults =
+    let engine, net = with_fault ~latency:0.5 faults in
+    let times = ref [] in
+    Net.set_handler net (fun ~dst:_ ~src:_ _ -> times := Engine.now engine :: !times);
+    for _ = 1 to 5 do
+      Net.send net ~src:0 ~dst:1 ~size:10 ()
+    done;
+    Engine.run engine;
+    List.rev !times
+  in
+  let base = run [] in
+  let jitter =
+    [ { Fault.kind = Fault.Delay { src = 0; dst = 1; max_extra = 2. }; start = 0.; stop = 100. } ]
+  in
+  let delayed = run jitter in
+  List.iter2
+    (fun b d -> checkb "within [0, max_extra)" true (d >= b && d < b +. 2.))
+    base delayed;
+  checkb "jitter replays bit-identically" true (run jitter = delayed)
+
+let test_fault_duplicate () =
+  let engine, net =
+    with_fault [ { Fault.kind = Fault.Duplicate { src = 0; dst = 1; prob = 1. }; start = 0.; stop = 100. } ]
+  in
+  let times = ref [] in
+  Net.set_handler net (fun ~dst:_ ~src:_ _ -> times := Engine.now engine :: !times);
+  Net.send net ~src:0 ~dst:1 ~size:10 ();
+  Engine.run engine;
+  match !times with
+  | [ t1; t2 ] -> checkf "same arrival instant" t1 t2
+  | l -> Alcotest.failf "expected two deliveries, got %d" (List.length l)
+
+let test_fault_crash () =
+  let engine, net =
+    with_fault ~latency:0.01
+      [ { Fault.kind = Fault.Crash { node = 1 }; start = 5.; stop = 15. } ]
+  in
+  let arrived = ref [] in
+  Net.set_handler net (fun ~dst ~src:_ msg -> arrived := (dst, msg) :: !arrived);
+  (* Sender crashed: nothing leaves, not even bytes. *)
+  ignore
+    (Engine.schedule engine ~at:6. (fun () -> Net.send net ~src:1 ~dst:0 ~size:10 "from-crashed"));
+  (* Receiver crashed at delivery time: sent at 4.999, arrives > 5. *)
+  ignore
+    (Engine.schedule engine ~at:4.999 (fun () ->
+         Net.send net ~src:0 ~dst:1 ~size:10 "into-crash"));
+  (* After recovery both directions work again. *)
+  ignore
+    (Engine.schedule engine ~at:15. (fun () -> Net.send net ~src:1 ~dst:0 ~size:10 "recovered"));
+  Engine.run engine;
+  checkb "only the post-recovery message survives" true
+    (!arrived = [ (0, "recovered") ]);
+  (* Only the post-recovery send is charged; the in-window send cost
+     nothing. *)
+  checki "crashed sender sends no bytes" 10 (Stats.bytes_sent (Net.stats net) 1);
+  checki "both casualties counted" 2 (Stats.dropped (Net.stats net))
+
+let test_fault_drop_labels () =
+  let engine, net =
+    with_fault [ { Fault.kind = Fault.Drop { src = 0; dst = 1; prob = 1. }; start = 0.; stop = 100. } ]
+  in
+  let stats = Net.stats net in
+  let lbl = Stats.intern stats "vote" in
+  Net.set_handler net (fun ~dst:_ ~src:_ _ -> ());
+  Net.send net ~src:0 ~dst:1 ~size:10 ~label:lbl ();
+  Net.send net ~src:0 ~dst:2 ~size:10 ~label:lbl ();
+  Engine.run engine;
+  checki "per-label drop count" 1 (Stats.label_dropped stats "vote");
+  checki "per-node drop count" 1 (Stats.dropped_at stats 1);
+  checkb "dropped_labels lists the label" true (Stats.dropped_labels stats = [ ("vote", 1) ])
+
+let test_fault_determinism () =
+  (* Probabilistic faults replay identically: the RNG stream is keyed
+     off the plan alone and consumed in simulated-event order. *)
+  let faults =
+    [
+      { Fault.kind = Fault.Drop { src = Fault.any; dst = Fault.any; prob = 0.5 }; start = 0.; stop = 50. };
+      { Fault.kind = Fault.Duplicate { src = Fault.any; dst = Fault.any; prob = 0.3 }; start = 0.; stop = 50. };
+      { Fault.kind = Fault.Delay { src = Fault.any; dst = Fault.any; max_extra = 1. }; start = 0.; stop = 50. };
+    ]
+  in
+  let run () =
+    let engine, net = with_fault ~n:4 faults in
+    let log = ref [] in
+    Net.set_handler net (fun ~dst ~src msg ->
+        log := (dst, src, msg, Engine.now engine) :: !log;
+        if msg < 2 then Net.broadcast net ~src:dst ~size:(100 * (msg + 1)) (msg + 1));
+    Net.broadcast net ~src:0 ~size:50 0;
+    Engine.run engine;
+    !log
+  in
+  checkb "identical faulty runs" true (run () = run ())
+
+let test_fault_plan_validate () =
+  let fault kind = { Fault.kind; start = 0.; stop = 1. } in
+  Fault.validate ~n:3 (fault_plan [ fault (Fault.Drop { src = Fault.any; dst = 2; prob = 0.5 }) ]);
+  let invalid msg plan =
+    match Fault.validate ~n:3 plan with
+    | () -> Alcotest.failf "%s: expected Invalid_argument" msg
+    | exception Invalid_argument _ -> ()
+  in
+  invalid "endpoint out of range" (fault_plan [ fault (Fault.Crash { node = 3 }) ]);
+  invalid "probability out of range"
+    (fault_plan [ fault (Fault.Drop { src = 0; dst = 1; prob = 1.5 }) ]);
+  invalid "window stops before start"
+    (fault_plan [ { Fault.kind = Fault.Partition { a = 0; b = 1 }; start = 2.; stop = 1. } ]);
+  (* Canonical form is stable and digest-worthy: equal plans digest
+     equal, any field change changes it. *)
+  let p1 = fault_plan [ fault (Fault.Drop { src = 0; dst = 1; prob = 0.5 }) ] in
+  let p2 = fault_plan [ fault (Fault.Drop { src = 0; dst = 1; prob = 0.5 }) ] in
+  let p3 = fault_plan [ fault (Fault.Drop { src = 0; dst = 1; prob = 0.25 }) ] in
+  checkb "equal plans digest equal" true (Fault.digest p1 = Fault.digest p2);
+  checkb "prob change changes digest" false (Fault.digest p1 = Fault.digest p3)
 
 (* --- Summary --------------------------------------------------------------- *)
 
@@ -679,6 +845,15 @@ let suite =
     ("net broadcast", `Quick, test_net_broadcast);
     ("net limit node", `Quick, test_net_limit_node);
     ("net determinism", `Quick, test_net_determinism);
+    ("fault drop window half-open", `Quick, test_fault_drop_window);
+    ("fault drop p=0", `Quick, test_fault_drop_never);
+    ("fault partition bidirectional", `Quick, test_fault_partition_bidirectional);
+    ("fault delay jitter", `Quick, test_fault_delay);
+    ("fault duplicate", `Quick, test_fault_duplicate);
+    ("fault crash window", `Quick, test_fault_crash);
+    ("fault drop labels", `Quick, test_fault_drop_labels);
+    ("fault determinism", `Quick, test_fault_determinism);
+    ("fault plan validation + digest", `Quick, test_fault_plan_validate);
     ("summary statistics", `Quick, test_summary_stats);
     ("summary linear fit", `Quick, test_summary_linear_fit);
     ("summary power-law fit", `Quick, test_summary_power_law);
