@@ -27,6 +27,8 @@ let micro_results : (string * float) list ref = ref []    (* ns/run *)
 let macro_results : (string * float) list ref = ref []    (* wall s *)
 let alloc_results : (string * float) list ref = ref []    (* MB allocated per run *)
 let drop_results : (string * int) list ref = ref []       (* messages dropped *)
+let dist_wall : (string * float) list ref = ref []        (* wall s *)
+let dist_metrics : (string * float) list ref = ref []     (* simulated metrics *)
 let target_times : (string * float) list ref = ref []     (* wall s *)
 
 let header title =
@@ -351,14 +353,13 @@ let micro () =
 let macro_run name ~env ~protocol =
   let t0 = Unix.gettimeofday () in
   let a0 = Gc.allocated_bytes () in
-  let res = E.run protocol env in
+  let report = E.run protocol env in
   let alloc_mb = (Gc.allocated_bytes () -. a0) /. 1e6 in
   let wall = Unix.gettimeofday () -. t0 in
-  let stats = res.Protocols.Runenv.stats in
+  let stats = report.Protocols.Runenv.result.Protocols.Runenv.stats in
   Printf.printf "%-28s %8.3f s wall  %8.1f MB alloc  (success: %b, latency: %s)\n"
-    name wall alloc_mb
-    (Protocols.Runenv.success env res)
-    (match Protocols.Runenv.success_latency res with
+    name wall alloc_mb report.Protocols.Runenv.success
+    (match report.Protocols.Runenv.success_latency with
     | Some t -> Printf.sprintf "%.1f s simulated" t
     | None -> "n/a");
   (match Tor_sim.Stats.dropped_labels stats with
@@ -396,6 +397,62 @@ let macro () =
            attacks = Attack.Ddos.bandwidth_attack ~n:9 ();
          })
 
+(* --- distribution macro bench ---------------------------------------------- *)
+
+(* The paper's worst case, end to end: agreement run, then a
+   million-client flash crowd hitting the cache tier after a 3-hour
+   halt — once serving consensus diffs, once full documents.  The wall
+   time goes through the regression gate like the other macro numbers;
+   the simulated metrics (recovery times, bytes per cache) are
+   deterministic and land in their own JSON section. *)
+let dist () =
+  header "Distribution tier: 1M-client flash crowd after a 3-hour halt";
+  dist_wall := [];
+  dist_metrics := [];
+  let flash name ~diffs =
+    let distribution =
+      Some { Torclient.Distribution.default_config with halt = 10800.; diffs }
+    in
+    let env =
+      Protocols.Runenv.of_spec
+        {
+          Protocols.Runenv.Spec.default with
+          seed = "dist-bench";
+          n_relays = 2000;
+          distribution;
+        }
+    in
+    let t0 = Unix.gettimeofday () in
+    let report = E.run E.Ours env in
+    let wall = Unix.gettimeofday () -. t0 in
+    dist_wall := !dist_wall @ [ (name, wall) ];
+    match report.Protocols.Runenv.distribution with
+    | None -> failwith (name ^ ": no distribution outcome")
+    | Some o ->
+        let t90 =
+          Option.value o.Torclient.Distribution.time_to_90pct_fresh ~default:nan
+        in
+        let tfull =
+          Option.value o.Torclient.Distribution.time_to_full_recovery ~default:nan
+        in
+        let mb_per_cache = o.Torclient.Distribution.bytes_per_cache /. 1e6 in
+        Printf.printf
+          "%-28s %8.3f s wall  t90 %7.1f s  full %7.1f s  %10.1f MB/cache\n" name
+          wall t90 tfull mb_per_cache;
+        dist_metrics :=
+          !dist_metrics
+          @ [
+              (name ^ "-t90_s", t90);
+              (name ^ "-tfull_s", tfull);
+              (name ^ "-mb_per_cache", mb_per_cache);
+            ]
+  in
+  flash "dist-flash-crowd-1M" ~diffs:true;
+  flash "dist-flash-crowd-1M-full" ~diffs:false;
+  Printf.printf
+    "(1M clients as cache-attached cohorts; with consensus diffs the same\n\
+    \ recovery costs a small fraction of the full-document bytes)\n"
+
 (* --- JSON report ----------------------------------------------------------- *)
 
 (* Hand-rolled emitter: the names are plain ASCII identifiers, so
@@ -421,6 +478,8 @@ let emit_json path =
   section "macro_dropped_msgs"
     (List.map (fun (k, v) -> (k, string_of_int v)) !drop_results)
     ~last:false;
+  section "dist_wall_s" (List.map secs !dist_wall) ~last:false;
+  section "dist_metrics" (List.map secs !dist_metrics) ~last:false;
   section "target_wall_s" (List.map secs (List.rev !target_times)) ~last:true;
   Buffer.add_string buf "}\n";
   let oc = open_out path in
@@ -444,6 +503,7 @@ let targets =
     ("ablation", ablation);
     ("micro", micro);
     ("macro", macro);
+    ("dist", dist);
   ]
 
 let rec parse_args = function

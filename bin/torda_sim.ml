@@ -67,40 +67,147 @@ let attack_arg =
           "DDoS on 5 of 9 authorities for the first 300 s: $(b,none), $(b,flood) \
            (0.5 Mbit/s residual), or $(b,knockout) (fully offline).")
 
-let make_env ~seed ~relays ~bandwidth ~attack =
+let make_env ?distribution ~seed ~relays ~bandwidth ~attack () =
   let attacks =
     match attack with
     | No_attack -> []
     | Flood -> Attack.Ddos.bandwidth_attack ~n:9 ()
     | Knockout -> Attack.Ddos.knockout ~n:9 ()
   in
-  R.make ~seed ~n_relays:relays ~bandwidth_bits_per_sec:(bandwidth *. 1e6) ~attacks
-    ~horizon:7200. ()
+  R.of_spec
+    {
+      R.Spec.default with
+      seed;
+      n_relays = relays;
+      bandwidth_bits_per_sec = bandwidth *. 1e6;
+      attacks;
+      distribution;
+    }
+
+let print_distribution (o : Torclient.Distribution.outcome) =
+  let time = function
+    | Some t -> Printf.sprintf "%.1f s" t
+    | None -> "(not reached)"
+  in
+  Printf.printf "clients:        %d on %d cache(s), %d cohort(s)\n"
+    o.Torclient.Distribution.clients o.Torclient.Distribution.caches
+    o.Torclient.Distribution.cohorts;
+  Printf.printf "available at:   %.1f s\n" o.Torclient.Distribution.available_at;
+  Printf.printf "90%% fresh:      %s\n"
+    (time o.Torclient.Distribution.time_to_90pct_fresh);
+  Printf.printf "full recovery:  %s\n"
+    (time o.Torclient.Distribution.time_to_full_recovery);
+  Printf.printf "bytes served:   %.1f MB (%.1f MB/cache mean, %.1f MB hottest)\n"
+    (float_of_int o.Torclient.Distribution.bytes_served /. 1e6)
+    (o.Torclient.Distribution.bytes_per_cache /. 1e6)
+    (float_of_int o.Torclient.Distribution.bytes_per_cache_max /. 1e6);
+  Printf.printf "fetches:        %d full, %d diff, %d failed attempt(s)\n"
+    o.Torclient.Distribution.full_fetches o.Torclient.Distribution.diff_fetches
+    o.Torclient.Distribution.failed_attempts
 
 (* --- run ------------------------------------------------------------------- *)
 
 let run_cmd =
   let action protocol relays bandwidth seed attack =
-    let env = make_env ~seed ~relays ~bandwidth ~attack in
-    let result = E.run protocol env in
-    Printf.printf "protocol:  %s\n" result.R.protocol;
+    let env = make_env ~seed ~relays ~bandwidth ~attack () in
+    let report = E.run protocol env in
+    Printf.printf "protocol:  %s\n" report.R.protocol;
     Printf.printf "relays:    %d\n" relays;
     Printf.printf "bandwidth: %.1f Mbit/s\n" bandwidth;
-    Printf.printf "success:   %b\n" (R.success env result);
-    (match R.success_latency result with
+    Printf.printf "success:   %b\n" report.R.success;
+    (match report.R.success_latency with
     | Some t -> Printf.printf "latency:   %.1f s\n" t
     | None -> print_endline "latency:   (no consensus)");
     Printf.printf "traffic:   %.1f MB total on the wire\n"
-      (float_of_int (Tor_sim.Stats.total_bytes_sent result.R.stats) /. 1e6);
-    Printf.printf "dropped:   %d message(s)\n" (Tor_sim.Stats.dropped result.R.stats);
+      (float_of_int report.R.total_bytes /. 1e6);
+    Printf.printf "dropped:   %d message(s)\n" report.R.dropped;
     List.iter
       (fun (label, count) -> Printf.printf "  %-14s %d\n" label count)
-      (Tor_sim.Stats.dropped_labels result.R.stats);
-    if R.success env result then 0 else 1
+      (Tor_sim.Stats.dropped_labels report.R.result.R.stats);
+    if report.R.success then 0 else 1
   in
   let term = Term.(const action $ protocol_arg $ relays_arg $ bandwidth_arg $ seed_arg $ attack_arg) in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one consensus instance of a directory protocol.")
+    term
+
+(* --- distribute ------------------------------------------------------------ *)
+
+let distribute_cmd =
+  let clients_arg =
+    Arg.(
+      value
+      & opt int Torclient.Distribution.default_config.Torclient.Distribution.clients
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Client population served by the cache tier (default 1,000,000).")
+  in
+  let caches_arg =
+    Arg.(
+      value
+      & opt int Torclient.Distribution.default_config.Torclient.Distribution.caches
+      & info [ "caches" ] ~docv:"N" ~doc:"Directory-cache nodes (default 16).")
+  in
+  let halt_arg =
+    Arg.(
+      value
+      & opt float 10800.
+      & info [ "halt" ] ~docv:"SECONDS"
+          ~doc:
+            "How long the directory protocol had been down before this run's \
+             consensus appeared (default 10800 = the paper's 3-hour outage; 0 \
+             models steady state).")
+  in
+  let no_diffs_arg =
+    Arg.(
+      value & flag
+      & info [ "no-diffs" ]
+          ~doc:"Serve full documents instead of consensus diffs.")
+  in
+  let action protocol relays bandwidth seed attack clients caches halt no_diffs =
+    let distribution =
+      {
+        Torclient.Distribution.default_config with
+        Torclient.Distribution.clients;
+        caches;
+        halt;
+        diffs = not no_diffs;
+      }
+    in
+    match make_env ~distribution ~seed ~relays ~bandwidth ~attack () with
+    | exception Invalid_argument e ->
+        Printf.eprintf "distribute: %s\n" e;
+        2
+    | env -> (
+        let report = E.run protocol env in
+        Printf.printf "protocol:       %s\n" report.R.protocol;
+        Printf.printf "relays:         %d\n" relays;
+        Printf.printf "consensus:      %s\n"
+          (if report.R.success then "produced" else "FAILED");
+        (match report.R.distribution with
+        | Some o ->
+            print_distribution o;
+            if report.R.success && o.Torclient.Distribution.time_to_full_recovery <> None
+            then 0
+            else 1
+        | None ->
+            print_endline "distribution:   (no signed consensus reached the caches)";
+            1))
+  in
+  let term =
+    Term.(
+      const action $ protocol_arg $ relays_arg $ bandwidth_arg $ seed_arg $ attack_arg
+      $ clients_arg $ caches_arg $ halt_arg $ no_diffs_arg)
+  in
+  Cmd.v
+    (Cmd.info "distribute"
+       ~doc:
+         "Simulate one consensus instance plus the downstream distribution \
+          tier: directory caches serving a (cohort-modelled) client \
+          population, with staggered fetch schedules, exponential-backoff \
+          retries, and consensus-diff serving.  Defaults reproduce the \
+          paper's million-client flash crowd after a 3-hour halt.  Exit \
+          status 0 when the consensus was produced and every client \
+          recovered within the horizon.")
     term
 
 (* --- log ------------------------------------------------------------------- *)
@@ -113,9 +220,9 @@ let log_cmd =
       & info [ "node" ] ~docv:"ID" ~doc:"Authority whose log to print (default 8).")
   in
   let action protocol relays bandwidth seed attack node =
-    let env = make_env ~seed ~relays ~bandwidth ~attack in
-    let result = E.run protocol env in
-    print_endline (Tor_sim.Trace.dump ~node result.R.trace);
+    let env = make_env ~seed ~relays ~bandwidth ~attack () in
+    let report = E.run protocol env in
+    print_endline (Tor_sim.Trace.dump ~node report.R.result.R.trace);
     0
   in
   let term =
@@ -339,14 +446,14 @@ let scenario_cmd =
               Printf.eprintf "scenario: %s\n" e;
               2
           | Ok scenario ->
-              let result = Torpartial.Scenario.run scenario in
-              let env = scenario.Torpartial.Scenario.env in
-              Printf.printf "protocol: %s\n" result.R.protocol;
-              Printf.printf "success:  %b\n" (R.success env result);
-              (match R.success_latency result with
+              let report = Torpartial.Scenario.run scenario in
+              Printf.printf "protocol: %s\n" report.R.protocol;
+              Printf.printf "success:  %b\n" report.R.success;
+              (match report.R.success_latency with
               | Some t -> Printf.printf "latency:  %.1f s\n" t
               | None -> print_endline "latency:  (no consensus)");
-              if R.success env result then 0 else 1)
+              Option.iter print_distribution report.R.distribution;
+              if report.R.success then 0 else 1)
   in
   let term = Term.(const action $ file_arg $ example_arg) in
   Cmd.v
@@ -358,4 +465,5 @@ let () =
   let info = Cmd.info "torda-sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ run_cmd; log_cmd; cost_cmd; sweep_cmd; chaos_cmd; scenario_cmd ]))
+       (Cmd.group info
+          [ run_cmd; distribute_cmd; log_cmd; cost_cmd; sweep_cmd; chaos_cmd; scenario_cmd ]))

@@ -9,12 +9,13 @@ module R = Protocols.Runenv
 (* Smallest attacked-authority bandwidth at which the current protocol
    still succeeds (the Figure 7 quantity), by binary search. *)
 let required_mbit ~n_relays =
-  let votes = (R.make ~seed:"economics" ~n_relays ()).R.votes in
+  let spec = { R.Spec.default with seed = "economics"; n_relays } in
+  let votes = (R.of_spec spec).R.votes in
   let ok mbit =
     let attacks =
       Attack.Ddos.bandwidth_attack ~n:9 ~residual_bits_per_sec:(mbit *. 1e6) ()
     in
-    let env = R.make ~seed:"economics" ~n_relays ~votes ~attacks () in
+    let env = R.of_spec ~votes { spec with attacks } in
     R.success env (Protocols.Current_v3.run env)
   in
   let rec search lo hi =

@@ -17,14 +17,18 @@ let () =
   (* Flood 5 of 9 authorities for the 300 s vote window, leaving the
      0.5 Mbit/s residual bandwidth Jansen et al. measured. *)
   let attacks = Attack.Ddos.bandwidth_attack ~n:9 () in
-  let env = R.make ~seed:"ddos-example" ~n_relays ~attacks () in
+  let env =
+    R.of_spec { R.Spec.default with seed = "ddos-example"; n_relays; attacks }
+  in
   let result = Protocols.Current_v3.run env in
   Printf.printf "consensus produced: %b\n\n" (R.success env result);
   print_endline "log of unattacked authority 'faravahar' (compare paper Figure 1):";
   print_endline (Tor_sim.Trace.dump ~node:8 result.R.trace);
 
   print_endline "\n=== Part 2: the partial-synchrony protocol, same attack ===\n";
-  let env2 = R.make ~seed:"ddos-example" ~n_relays ~attacks () in
+  let env2 =
+    R.of_spec { R.Spec.default with seed = "ddos-example"; n_relays; attacks }
+  in
   let ours = Torpartial.Protocol.run env2 in
   Printf.printf "consensus produced: %b\n" (R.success env2 ours);
   (match R.decided_at_latest ours with

@@ -9,7 +9,9 @@ let () =
   (* 1. Build a run environment: 9 authorities, realistic latencies,
      250 Mbit/s links, and a synthetic 2,000-relay network with
      realistic cross-authority vote divergence. *)
-  let env = R.make ~seed:"quickstart" ~n_relays:2000 () in
+  let env =
+    R.of_spec { R.Spec.default with seed = "quickstart"; n_relays = 2000 }
+  in
 
   (* 2. Run the paper's protocol (dissemination -> HotStuff agreement
      -> aggregation). *)

@@ -24,7 +24,9 @@ type t = {
 }
 
 val diff : base:string -> target:string -> t
-(** Compute a line diff between two serialized documents. *)
+(** Compute a line diff between two serialized documents.  Identical
+    documents (equal digests) take a fast path that skips the line
+    scan entirely and return an empty command list. *)
 
 val patch : base:string -> t -> (string, string) result
 (** Apply a diff.  Fails with an explanation if the base digest does

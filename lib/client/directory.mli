@@ -20,13 +20,27 @@ val verify :
 (** Accept iff at least a majority of the [n_authorities] produced
     valid, distinct signatures on this document's signing payload. *)
 
-(** Client freshness rules (dir-spec; Section 3.1 of the paper). *)
+(** Client freshness rules (dir-spec; Section 3.1 of the paper).
+
+    The three states partition time into half-open intervals with
+    strict deadlines, matching dir-spec's fresh-until/valid-until
+    semantics:
+
+    - [Fresh]   on [valid_after, valid_after + 1 h)
+    - [Stale]   on [valid_after + 1 h, valid_after + 3 h)
+    - [Expired] on [valid_after + 3 h, ∞)
+
+    So at exactly one hour the document is already [Stale], and at
+    exactly three hours it is already [Expired]. *)
 type freshness =
   | Fresh    (** younger than 1 h: use normally *)
   | Stale    (** 1-3 h old: usable, clients should try to refresh *)
   | Expired  (** older than 3 h: must not be used — Tor is down *)
 
 val freshness : now:float -> Dirdoc.Consensus.t -> freshness
+(** Both deadlines are strict: [freshness ~now:(valid_after +. 3600.)]
+    is [Stale] and [freshness ~now:(valid_after +. 10800.)] is
+    [Expired]. *)
 
 val usable : now:float -> Dirdoc.Consensus.t -> bool
 (** [Fresh] or [Stale]. *)

@@ -6,17 +6,90 @@ type protocol = Exec.Job.protocol = Current | Synchronous | Ours
 
 let protocol_name = Exec.Job.protocol_name
 
-(* The one execution path shared by the CLI, scenario files, the
-   benches, and the sweep pool: every simulation of a named protocol
-   goes through here. *)
-let run = function
+(* Raw protocol drivers; figure internals that only need a
+   [run_result] call these directly. *)
+let driver = function
   | Current -> Protocols.Current_v3.run
   | Synchronous -> Protocols.Sync_ic.run
   | Ours -> fun env -> Protocol.run env
 
-let run_protocol = run
-
 let default_seed = "torpartial"
+
+(* Distribution glue: once the authorities produce a majority-signed
+   document, hand it to the cache/client tier.  The "previous hour"
+   document a diff would be computed against is synthesized from the
+   produced consensus by undoing plausible churn (per-hour rates from
+   Workload.default_churn), seeded from the document digest so the
+   diff size is a pure function of the run. *)
+let previous_consensus ~rng ~hours (c : Dirdoc.Consensus.t) =
+  (* Hourly consensus changes come from relay churn alone (measured
+     bandwidths are smoothed and stable hour-over-hour — see
+     [consdiff_savings]), so the previous document is the produced one
+     minus the relays that joined in the meantime, at the default
+     ~1.5%/hour join rate compounded over the gap. *)
+  let keep_prob = 0.985 ** float_of_int hours in
+  let entries =
+    Array.to_list c.Dirdoc.Consensus.entries
+    |> List.filter (fun (_ : Dirdoc.Consensus.entry) -> Rng.float rng 1. <= keep_prob)
+  in
+  Dirdoc.Consensus.create
+    ~valid_after:(c.Dirdoc.Consensus.valid_after -. (3600. *. float_of_int hours))
+    ~n_votes:c.Dirdoc.Consensus.n_votes ~entries
+
+let majority_signed_consensus (env : Runenv.t) (result : Runenv.run_result) =
+  let need = Runenv.majority ~n:env.Runenv.n in
+  Array.to_list result.Runenv.per_authority
+  |> List.find_map (fun (a : Runenv.authority_result) ->
+         match a.Runenv.consensus with
+         | Some c when a.Runenv.signatures >= need -> Some c
+         | _ -> None)
+
+let distribution_outcome (env : Runenv.t) (result : Runenv.run_result)
+    (cfg : Torclient.Distribution.config) =
+  match majority_signed_consensus env result with
+  | None -> None
+  | Some c ->
+      let target = Dirdoc.Consensus.serialize c in
+      let full_bytes = String.length target in
+      let diff_bytes =
+        if cfg.Torclient.Distribution.diffs then begin
+          let rng =
+            Rng.of_string_seed
+              ("consdiff|" ^ Crypto.Digest32.hex (Dirdoc.Consensus.digest c))
+          in
+          let hours =
+            1 + int_of_float (cfg.Torclient.Distribution.halt /. 3600.)
+          in
+          let base =
+            Dirdoc.Consensus.serialize (previous_consensus ~rng ~hours c)
+          in
+          Some (Torclient.Consdiff.wire_size (Torclient.Consdiff.diff ~base ~target))
+        end
+        else None
+      in
+      (* The distribution tier runs on its own clock: the document
+         becomes available [halt] seconds into the outage plus the
+         agreement run's decision latency, and gets the same amount of
+         simulated time the agreement core had. *)
+      let available_at =
+        cfg.Torclient.Distribution.halt
+        +. Option.value (Runenv.decided_at_latest result) ~default:0.
+      in
+      let horizon = available_at +. env.Runenv.horizon in
+      Some (Torclient.Distribution.run cfg ~available_at ~full_bytes ~diff_bytes ~horizon)
+
+(* The one execution path shared by the CLI, scenario files, the
+   benches, and the sweep pool: every simulation of a named protocol
+   goes through here and comes back as a structured report. *)
+let run protocol env =
+  let result = driver protocol env in
+  let distribution =
+    match env.Runenv.distribution with
+    | Some cfg when Runenv.success env result ->
+        distribution_outcome env result cfg
+    | Some _ | None -> None
+  in
+  Runenv.report env ?distribution result
 
 let all_protocols = [ Current; Synchronous; Ours ]
 
@@ -60,7 +133,7 @@ let results_cache : Job.outcome Exec.Cache.t = Exec.Cache.create ()
 let run_job (job : Job.t) =
   Exec.Cache.find_or_compute results_cache ~key:(Job.key job) (fun () ->
       let e = env_of_spec job.Job.spec in
-      Job.outcome job e (run job.Job.protocol e))
+      Job.outcome job (run job.Job.protocol e))
 
 let run_jobs ?(jobs = 1) job_list = Exec.Pool.map ~jobs run_job job_list
 
@@ -173,8 +246,8 @@ type table1_row = {
 }
 
 let table1_row protocol ~n ~n_relays =
-  let e = Runenv.make ~seed:default_seed ~n ~n_relays ~horizon:7200. () in
-  let result = run protocol e in
+  let e = Runenv.of_spec { Runenv.Spec.default with n; n_relays } in
+  let result = driver protocol e in
   let stats = result.Runenv.stats in
   {
     protocol;
@@ -209,7 +282,7 @@ let table2 () =
   let latency = 0.5 in
   let n = 9 in
   let keyring = Crypto.Keyring.create ~seed:default_seed ~n () in
-  let base = Runenv.make ~seed:default_seed ~n ~n_relays:10 () in
+  let base = Runenv.of_spec { Runenv.Spec.default with n; n_relays = 10 } in
   let e =
     {
       base with
@@ -283,7 +356,8 @@ let latency_vs_doc_timeout ?(timeouts = [ 30.; 150.; 300. ]) ?(n_relays = 1000) 
   List.map
     (fun doc_timeout ->
       let e =
-        Runenv.make ~seed:default_seed ~n_relays ~behaviors ~horizon:7200. ()
+        Runenv.of_spec
+          { Runenv.Spec.default with n_relays; behaviors = Some behaviors }
       in
       let params = { Protocol.default_params with Protocol.doc_timeout } in
       let result = Protocol.run ~params e in

@@ -10,12 +10,18 @@ type protocol = Exec.Job.protocol = Current | Synchronous | Ours
 
 val protocol_name : protocol -> string
 
-val run : protocol -> Protocols.Runenv.t -> Protocols.Runenv.run_result
+val run : protocol -> Protocols.Runenv.t -> Protocols.Runenv.report
 (** The single execution path: the CLI, scenario files, the benches,
-    and the sweep pool all run simulations through here. *)
-
-val run_protocol : protocol -> Protocols.Runenv.t -> Protocols.Runenv.run_result
-(** Deprecated alias of {!run}, kept for existing callers. *)
+    the chaos harness, and the sweep pool all run simulations through
+    here and consume the same structured {!Protocols.Runenv.report}.
+    When the environment carries a
+    {!Protocols.Runenv.Spec.t.distribution} config and the agreement
+    run succeeds, the majority-signed document is handed to the
+    {!Torclient.Distribution} tier and the report's [distribution]
+    field carries the client-side metrics (with diff serving, the
+    served delta is computed against a synthesized previous-hour
+    document via {!Torclient.Consdiff}); after a failed run nothing
+    reaches the caches, so the field is [None]. *)
 
 val run_job : Exec.Job.t -> Exec.Job.outcome
 (** Execute one sweep job through {!run}, memoized on

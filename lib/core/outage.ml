@@ -55,17 +55,23 @@ let run ?(hours = 12) ?(n_relays = 2000) ~protocol ~policy () =
         let attacks = if attacked then Attack.Ddos.bandwidth_attack ~n () else [] in
         let valid_after = base +. (3600. *. float_of_int index) in
         let env =
-          Runenv.make
-            ~seed:(Printf.sprintf "outage-h%d" index)
-            ~valid_after ~n_relays ~attacks ~horizon:3000. ()
+          Runenv.of_spec
+            {
+              Runenv.Spec.default with
+              seed = Printf.sprintf "outage-h%d" index;
+              valid_after;
+              n_relays;
+              attacks;
+              horizon = 3000.;
+            }
         in
         (* The runs use the shared outage keyring so one client can
            verify every hour's signatures. *)
         let env = { env with Runenv.keyring } in
-        let result = Experiments.run protocol env in
-        let produced = Runenv.success env result in
+        let report = Experiments.run protocol env in
+        let produced = report.Runenv.success in
         (if produced then
-           match signed_consensus_of_run keyring ~n result with
+           match signed_consensus_of_run keyring ~n report.Runenv.result with
            | Some sc ->
                (* The client fetches shortly after the run concludes. *)
                let fetch_time = valid_after +. 1200. in

@@ -10,6 +10,7 @@ type draft = {
   mutable horizon : float;
   mutable behaviors : (int * Runenv.behavior) list;
   mutable attacks : Runenv.attack list;
+  mutable distribution : Torclient.Distribution.config option;
 }
 
 let fresh_draft () =
@@ -21,7 +22,13 @@ let fresh_draft () =
     horizon = 7200.;
     behaviors = [];
     attacks = [];
+    distribution = None;
   }
+
+(* Any distribution directive switches the tier on; later directives
+   refine the same config. *)
+let dist_config draft =
+  Option.value draft.distribution ~default:Torclient.Distribution.default_config
 
 let ( let* ) = Result.bind
 
@@ -99,6 +106,40 @@ let apply_directive draft = function
       let* stop = float_arg stop in
       draft.attacks <- Attack.Ddos.knockout ~n:9 ~start ~stop () @ draft.attacks;
       Ok ()
+  | [ "clients"; n ] ->
+      let* n = int_arg n in
+      if n <= 0 then Error "clients must be positive"
+      else begin
+        draft.distribution <-
+          Some { (dist_config draft) with Torclient.Distribution.clients = n };
+        Ok ()
+      end
+  | [ "caches"; n ] ->
+      let* n = int_arg n in
+      if n <= 0 then Error "caches must be positive"
+      else begin
+        draft.distribution <-
+          Some { (dist_config draft) with Torclient.Distribution.caches = n };
+        Ok ()
+      end
+  | [ "halt"; seconds ] ->
+      let* halt = float_arg seconds in
+      if halt < 0. then Error "halt must be non-negative"
+      else begin
+        draft.distribution <-
+          Some { (dist_config draft) with Torclient.Distribution.halt };
+        Ok ()
+      end
+  | [ "diffs"; flag ] ->
+      let* diffs =
+        match flag with
+        | "on" -> Ok true
+        | "off" -> Ok false
+        | s -> Error (Printf.sprintf "diffs must be on or off, not %S" s)
+      in
+      draft.distribution <-
+        Some { (dist_config draft) with Torclient.Distribution.diffs };
+      Ok ()
   | words -> Error (Printf.sprintf "unknown directive %S" (String.concat " " words))
 
 let parse text =
@@ -137,9 +178,17 @@ let parse text =
       (Ok ()) draft.behaviors
   in
   match
-    Runenv.make ~seed:draft.seed ~n_relays:draft.relays
-      ~bandwidth_bits_per_sec:(draft.bandwidth_mbit *. 1e6)
-      ~attacks:draft.attacks ~behaviors ~horizon:draft.horizon ()
+    Runenv.of_spec
+      {
+        Runenv.Spec.default with
+        seed = draft.seed;
+        n_relays = draft.relays;
+        bandwidth_bits_per_sec = draft.bandwidth_mbit *. 1e6;
+        attacks = draft.attacks;
+        behaviors = Some behaviors;
+        distribution = draft.distribution;
+        horizon = draft.horizon;
+      }
   with
   | env -> Ok { protocol = draft.protocol; env }
   | exception Invalid_argument e -> Error e

@@ -19,7 +19,10 @@
     - [behavior NODE silent|equivocating|honest]
     - [attack NODE START STOP RESIDUAL_MBIT] — one bandwidth window
     - [flood-majority START STOP RESIDUAL_MBIT] — the paper's attack
-    - [knockout-majority START STOP] — the Figure 11 attack *)
+    - [knockout-majority START STOP] — the Figure 11 attack
+    - [clients N], [caches N], [halt SECONDS], [diffs on|off] —
+      enable the downstream {!Torclient.Distribution} tier; any one of
+      these switches it on with defaults for the rest *)
 
 type t = {
   protocol : Experiments.protocol;
@@ -30,10 +33,11 @@ val parse : string -> (t, string) result
 (** Parse scenario text.  Errors carry the offending line number and
     content. *)
 
-val run : t -> Protocols.Runenv.run_result
+val run : t -> Protocols.Runenv.report
 (** Execute the scenario's protocol on its environment via
     {!Experiments.run}, the same path the CLI, benches, and sweep
-    pool use. *)
+    pool use; the report carries distribution metrics when the
+    scenario enabled the client tier. *)
 
 val default_text : string
 (** A commented example scenario (the Figure 1 attack), used by the

@@ -174,13 +174,13 @@ type report = {
 }
 
 let report_of ~run_protocol protocol env =
-  let result = run_protocol protocol env in
+  let (r : Runenv.report) = run_protocol protocol env in
   {
     protocol;
-    success = Runenv.success env result;
-    agreement = Runenv.agreement_holds env result;
-    decided_at_latest = Runenv.decided_at_latest result;
-    dropped = Tor_sim.Stats.dropped result.Runenv.stats;
+    success = r.Runenv.success;
+    agreement = r.Runenv.agreement;
+    decided_at_latest = r.Runenv.decided_at_latest;
+    dropped = r.Runenv.dropped;
   }
 
 (* Safety and liveness of one (plan, behaviors) case, judged from a run

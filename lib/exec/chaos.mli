@@ -82,7 +82,7 @@ type report = {
 
 val check :
   ?config:config ->
-  run_protocol:(Job.protocol -> Protocols.Runenv.t -> Protocols.Runenv.run_result) ->
+  run_protocol:(Job.protocol -> Protocols.Runenv.t -> Protocols.Runenv.report) ->
   jobs:int ->
   unit ->
   report

@@ -27,11 +27,11 @@ type outcome = {
   total_bytes : int;
 }
 
-let outcome job env (result : Runenv.run_result) =
+let outcome job (report : Runenv.report) =
   {
     key = key job;
-    success = Runenv.success env result;
-    success_latency = Runenv.success_latency result;
-    decided_at_latest = Runenv.decided_at_latest result;
-    total_bytes = Tor_sim.Stats.total_bytes_sent result.Runenv.stats;
+    success = report.Runenv.success;
+    success_latency = report.Runenv.success_latency;
+    decided_at_latest = report.Runenv.decided_at_latest;
+    total_bytes = report.Runenv.total_bytes;
   }

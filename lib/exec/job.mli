@@ -37,4 +37,6 @@ type outcome = {
   total_bytes : int;                 (** bytes on the simulated wire *)
 }
 
-val outcome : t -> Protocols.Runenv.t -> Protocols.Runenv.run_result -> outcome
+val outcome : t -> Protocols.Runenv.report -> outcome
+(** Project a full experiment {!Protocols.Runenv.report} down to the
+    sweep-cache slice, stamped with this job's {!key}. *)

@@ -1,10 +1,4 @@
-(** The pluggable agreement-engine interface (paper §5.2.2: "we can
-    utilize any view-based consensus protocol, such as PBFT,
-    Tendermint, or HotStuff").
-
-    {!Hotstuff} and {!Tendermint} both satisfy [S]; the core protocol
-    is a functor over it, so the dissemination and aggregation
-    sub-protocols run unchanged over either engine. *)
+(* See agreement.mli for the interface documentation. *)
 
 module type S = sig
   type 'v t

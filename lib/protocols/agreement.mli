@@ -1,0 +1,70 @@
+(** The pluggable agreement-engine interface (paper §5.2.2: "we can
+    utilize any view-based consensus protocol, such as PBFT,
+    Tendermint, or HotStuff").
+
+    {!Hotstuff} and {!Tendermint} both satisfy {!S}; the core protocol
+    is a functor over it, so the dissemination and aggregation
+    sub-protocols run unchanged over either engine.  This interface is
+    the module's entire export: engine implementations live in their
+    own modules and nothing else is shared through here. *)
+
+module type S = sig
+  type 'v t
+  (** One authority's engine instance, carrying values of type ['v]. *)
+
+  type 'v msg
+  (** Engine wire messages, opaque to the transport. *)
+
+  (** Environment the host protocol provides to the engine.  The
+      engine owns no clock, network, or scheduler of its own — every
+      effect goes through these callbacks, which is what lets the same
+      engine run under the simulator or any other harness. *)
+  type 'v callbacks = {
+    now : unit -> Tor_sim.Simtime.t;
+    schedule : Tor_sim.Simtime.t -> (unit -> unit) -> Tor_sim.Engine.handle;
+        (** absolute-time one-shot timer *)
+    cancel : Tor_sim.Engine.handle -> unit;
+    send : dst:int -> 'v msg -> unit;
+    validate : 'v -> bool;  (** external validity predicate *)
+    value_digest : 'v -> Crypto.Digest32.t;
+    proposal : unit -> 'v option;
+        (** the value this authority proposes when it leads ([None]
+            while not yet ready) *)
+    decide : view:int -> 'v -> unit;  (** commit notification, fired once *)
+    on_view : view:int -> unit;       (** view-change notification *)
+    log : string -> unit;
+  }
+
+  val name : string
+  (** Engine name, used in traces and reports. *)
+
+  val create :
+    keyring:Crypto.Keyring.t ->
+    n:int ->
+    id:int ->
+    ?view_timeout:Tor_sim.Simtime.t ->
+    'v callbacks ->
+    'v t
+
+  val start : 'v t -> unit
+  (** Begin view 0.  Call once, after the transport is wired. *)
+
+  val handle : 'v t -> src:int -> 'v msg -> unit
+  (** Deliver an incoming engine message. *)
+
+  val notify_ready : 'v t -> unit
+  (** Tell the engine that [proposal] may now return a value (the
+      dissemination phase completed). *)
+
+  val decided : 'v t -> 'v option
+  (** The committed value, once {!type-S.callbacks.decide} fired. *)
+
+  val current_view : 'v t -> int
+
+  val leader : n:int -> view:int -> int
+  (** Round-robin leader schedule, shared by all engines. *)
+
+  val msg_size : value_size:('v -> int) -> 'v msg -> int
+  (** Wire size of a message given a value-size function, for the
+      byte-accounted transport. *)
+end

@@ -35,10 +35,15 @@ let run ?(iterations = 3) (env : Runenv.t) =
     let iter_env =
       if k = 0 then env
       else
-        Runenv.make
-          ~seed:(Printf.sprintf "retry-%d" k)
-          ~valid_after:env.valid_after ~n ~n_relays:(Dirdoc.Vote.n_relays env.votes.(0))
-          ~bandwidth_bits_per_sec:env.bandwidth_bits_per_sec ()
+        Runenv.of_spec
+          {
+            Runenv.Spec.default with
+            seed = Printf.sprintf "retry-%d" k;
+            valid_after = env.valid_after;
+            n;
+            n_relays = Dirdoc.Vote.n_relays env.votes.(0);
+            bandwidth_bits_per_sec = env.bandwidth_bits_per_sec;
+          }
     in
     let iter_env = { iter_env with Runenv.keyring = env.keyring } in
     let result = Current_v3.run iter_env in

@@ -23,6 +23,7 @@ type t = {
   attacks : attack list;
   behaviors : behavior array;
   fault_plan : Sim.Fault.plan option;
+  distribution : Torclient.Distribution.config option;
   horizon : Sim.Simtime.t;
 }
 
@@ -54,6 +55,7 @@ module Spec = struct
     behaviors : behavior array option;
     divergence : Dirdoc.Workload.divergence option;
     fault_plan : Sim.Fault.plan option;
+    distribution : Torclient.Distribution.config option;
     horizon : Sim.Simtime.t;
   }
 
@@ -68,6 +70,7 @@ module Spec = struct
       behaviors = None;
       divergence = None;
       fault_plan = None;
+      distribution = None;
       horizon = 7200.;
     }
 
@@ -122,6 +125,9 @@ module Spec = struct
     (match t.fault_plan with
     | None -> Buffer.add_string buf "default;"
     | Some plan -> s (Sim.Fault.canonical plan));
+    (match t.distribution with
+    | None -> Buffer.add_string buf "default;"
+    | Some d -> s (Torclient.Distribution.canonical_config d));
     f t.horizon;
     Buffer.contents buf
 
@@ -132,7 +138,7 @@ end
 
 let of_spec ?votes (spec : Spec.t) =
   let { Spec.seed; valid_after; n; n_relays; bandwidth_bits_per_sec; attacks;
-        behaviors; divergence; fault_plan; horizon } = spec in
+        behaviors; divergence; fault_plan; distribution; horizon } = spec in
   let keyring = Crypto.Keyring.create ~seed ~n () in
   let rng = Sim.Rng.of_string_seed seed in
   let topology = Sim.Topology.realistic ~n ~rng:(Sim.Rng.split rng) in
@@ -167,6 +173,7 @@ let of_spec ?votes (spec : Spec.t) =
       if a.stop < a.start then invalid_arg "Runenv.of_spec: attack stops before it starts";
       if a.bits_per_sec < 0. then invalid_arg "Runenv.of_spec: negative residual bandwidth")
     attacks;
+  Option.iter Torclient.Distribution.validate_config distribution;
   {
     n;
     keyring;
@@ -177,25 +184,9 @@ let of_spec ?votes (spec : Spec.t) =
     attacks;
     behaviors;
     fault_plan;
+    distribution;
     horizon;
   }
-
-let make ?(seed = "torpartial") ?(valid_after = default_valid_after) ?(n = 9)
-    ?(n_relays = 1000) ?(bandwidth_bits_per_sec = 250e6) ?(attacks = []) ?behaviors
-    ?divergence ?fault_plan ?(horizon = 7200.) ?votes () =
-  of_spec ?votes
-    {
-      Spec.seed;
-      valid_after;
-      n;
-      n_relays;
-      bandwidth_bits_per_sec;
-      attacks;
-      behaviors;
-      divergence;
-      fault_plan;
-      horizon;
-    }
 
 type authority_result = {
   consensus : Dirdoc.Consensus.t option;
@@ -262,6 +253,31 @@ let fold_max_over f result =
 
 let success_latency result = fold_max_over (fun r -> r.network_time) result
 let decided_at_latest result = fold_max_over (fun r -> r.decided_at) result
+
+type report = {
+  protocol : string;
+  result : run_result;
+  success : bool;
+  agreement : bool;
+  success_latency : Sim.Simtime.t option;
+  decided_at_latest : Sim.Simtime.t option;
+  total_bytes : int;
+  dropped : int;
+  distribution : Torclient.Distribution.outcome option;
+}
+
+let report env ?distribution (result : run_result) =
+  {
+    protocol = result.protocol;
+    result;
+    success = success env result;
+    agreement = agreement_holds env result;
+    success_latency = success_latency result;
+    decided_at_latest = decided_at_latest result;
+    total_bytes = Sim.Stats.total_bytes_sent result.stats;
+    dropped = Sim.Stats.dropped result.stats;
+    distribution;
+  }
 
 let apply_attacks env net =
   List.iter

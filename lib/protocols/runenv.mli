@@ -32,6 +32,8 @@ type t = {
   attacks : attack list;
   behaviors : behavior array;
   fault_plan : Tor_sim.Fault.plan option; (** injected network faults *)
+  distribution : Torclient.Distribution.config option;
+      (** downstream cache/client tier; [None] = agreement core only *)
   horizon : Tor_sim.Simtime.t;       (** stop simulating at this time *)
 }
 
@@ -63,12 +65,18 @@ module Spec : sig
         (** injected network faults; [None] = fault-free.  Participates
             in {!canonical}/{!digest} so cached sweep results keyed on a
             digest never conflate faulty and fault-free runs. *)
+    distribution : Torclient.Distribution.config option;
+        (** downstream distribution tier (caches, cohort sizes,
+            schedule/backoff parameters, diff serving); [None] runs the
+            agreement core alone.  Participates in
+            {!canonical}/{!digest}, so distinct distribution configs
+            always key distinct jobs. *)
     horizon : Tor_sim.Simtime.t;
   }
 
   val default : t
   (** 9 honest authorities, 1000 relays, 250 Mbit/s, no attacks, seed
-      ["torpartial"], horizon 7200 s. *)
+      ["torpartial"], no distribution tier, horizon 7200 s. *)
 
   val canonical : t -> string
   (** Canonical serialization (stable across processes and OCaml
@@ -93,25 +101,6 @@ val of_spec : ?votes:Dirdoc.Vote.t array -> Spec.t -> t
     [divergence], so a cached population is exactly what would have
     been generated).  Raises [Invalid_argument] on inconsistent
     array lengths or malformed attack windows. *)
-
-val make :
-  ?seed:string ->
-  ?valid_after:float ->
-  ?n:int ->
-  ?n_relays:int ->
-  ?bandwidth_bits_per_sec:float ->
-  ?attacks:attack list ->
-  ?behaviors:behavior array ->
-  ?divergence:Dirdoc.Workload.divergence ->
-  ?fault_plan:Tor_sim.Fault.plan ->
-  ?horizon:Tor_sim.Simtime.t ->
-  ?votes:Dirdoc.Vote.t array ->
-  unit ->
-  t
-(** Deprecated shim over {!of_spec}: builds a {!Spec.t} from the
-    optional arguments and delegates.  Prefer constructing a
-    [Spec.t] (e.g. [{ Spec.default with n_relays = 8000 }]) and
-    calling {!of_spec}; new code should not add [make] call sites. *)
 
 (** Outcome of one authority at the end of a run. *)
 type authority_result = {
@@ -151,6 +140,30 @@ val success_latency : run_result -> Tor_sim.Simtime.t option
 val decided_at_latest : run_result -> Tor_sim.Simtime.t option
 (** Largest [decided_at] among deciding authorities — the recovery
     time plotted in Figure 11. *)
+
+(** Structured outcome of a full experiment: the agreement verdict
+    derived from a {!run_result}, plus the distribution-tier metrics
+    when the environment carries a {!Spec.t.distribution} config.
+    Every consumer — [torda-sim run]/[distribute], scenarios, the
+    bench harness, [Exec.Chaos] — reads this one record instead of
+    recomputing verdicts from raw results. *)
+type report = {
+  protocol : string;
+  result : run_result;  (** the raw per-authority results and trace *)
+  success : bool;                  (** {!success} *)
+  agreement : bool;                (** {!agreement_holds} *)
+  success_latency : Tor_sim.Simtime.t option;   (** {!success_latency} *)
+  decided_at_latest : Tor_sim.Simtime.t option; (** {!decided_at_latest} *)
+  total_bytes : int;    (** authority-tier bytes on the wire *)
+  dropped : int;        (** messages lost to attacks or faults *)
+  distribution : Torclient.Distribution.outcome option;
+      (** client-tier metrics; [None] when no distribution config *)
+}
+
+val report :
+  t -> ?distribution:Torclient.Distribution.outcome -> run_result -> report
+(** Assemble a {!report} from a raw result, computing the agreement
+    verdict and traffic totals with the helpers above. *)
 
 val apply_attacks : t -> 'm Tor_sim.Net.t -> unit
 (** Install every attack window on the network's NICs, and install the

@@ -73,8 +73,13 @@ let test_planner () =
 let test_monitor_verdicts () =
   (* Attacked run: the monitor must raise the alarm. *)
   let attacked =
-    Protocols.Runenv.make ~seed:"monitor-test" ~n_relays:4000
-      ~attacks:(Attack.Ddos.bandwidth_attack ~n:9 ()) ()
+    Protocols.Runenv.of_spec
+      {
+        Protocols.Runenv.Spec.default with
+        seed = "monitor-test";
+        n_relays = 4000;
+        attacks = Attack.Ddos.bandwidth_attack ~n:9 ();
+      }
   in
   let report =
     Attack.Monitor.analyze (Protocols.Current_v3.run attacked).Protocols.Runenv.trace
@@ -87,7 +92,10 @@ let test_monitor_verdicts () =
       Alcotest.fail "expected Attack_suspected");
   checkb "failure count recorded" true (report.Attack.Monitor.consensus_failures > 0);
   (* Healthy run: silence. *)
-  let healthy = Protocols.Runenv.make ~seed:"monitor-test" ~n_relays:500 () in
+  let healthy =
+    Protocols.Runenv.of_spec
+      { Protocols.Runenv.Spec.default with seed = "monitor-test"; n_relays = 500 }
+  in
   let report =
     Attack.Monitor.analyze (Protocols.Current_v3.run healthy).Protocols.Runenv.trace
   in

@@ -95,6 +95,24 @@ let test_freshness_windows () =
   checkb "usable stale" true (Directory.usable ~now:(1000. +. 7200.) c);
   checkb "unusable expired" false (Directory.usable ~now:(1000. +. 10801.) c)
 
+let test_freshness_boundaries () =
+  (* Both deadlines are strict (half-open intervals): at exactly
+     valid_after + 1 h the document is already Stale, and at exactly
+     valid_after + 3 h it is already Expired. *)
+  let va = 1000. in
+  let c = sample_consensus ~valid_after:va () in
+  checkb "fresh at valid_after" true (Directory.freshness ~now:va c = Directory.Fresh);
+  checkb "fresh just before 1 h" true
+    (Directory.freshness ~now:(va +. 3599.999) c = Directory.Fresh);
+  checkb "stale at exactly 1 h" true
+    (Directory.freshness ~now:(va +. 3600.) c = Directory.Stale);
+  checkb "stale just before 3 h" true
+    (Directory.freshness ~now:(va +. 10799.999) c = Directory.Stale);
+  checkb "expired at exactly 3 h" true
+    (Directory.freshness ~now:(va +. 10800.) c = Directory.Expired);
+  checkb "still usable at exactly 1 h" true (Directory.usable ~now:(va +. 3600.) c);
+  checkb "unusable at exactly 3 h" false (Directory.usable ~now:(va +. 10800.) c)
+
 (* --- Circuit ---------------------------------------------------------------- *)
 
 let test_eligibility () =
@@ -266,12 +284,157 @@ let test_consdiff_disjoint_documents () =
   | Ok patched -> checkb "full rewrite roundtrips" true (String.equal patched other)
   | Error e -> Alcotest.fail e
 
+(* A realistic 9-authority, 1000-relay pair with default cross-authority
+   vote divergence and one hour of relay churn between them. *)
+let divergent_consensuses () =
+  let rng = Tor_sim.Rng.of_string_seed "consdiff-divergent" in
+  let votes =
+    Dirdoc.Workload.votes ~rng ~divergence:Dirdoc.Workload.default_divergence ~keyring
+      ~n_authorities:9 ~n_relays:1000 ~valid_after:0. ()
+  in
+  let base = Dirdoc.Aggregate.consensus ~valid_after:0. ~votes:(Array.to_list votes) in
+  let votes2 =
+    Array.map
+      (fun (v : Dirdoc.Vote.t) ->
+        let relays =
+          Array.to_list v.Dirdoc.Vote.relays |> List.filteri (fun i _ -> i mod 40 <> 7)
+        in
+        Dirdoc.Vote.create ~authority:v.Dirdoc.Vote.authority
+          ~authority_fingerprint:v.Dirdoc.Vote.authority_fingerprint
+          ~nickname:v.Dirdoc.Vote.nickname ~published:v.Dirdoc.Vote.published
+          ~valid_after:3600. ~relays)
+      votes
+  in
+  let target =
+    Dirdoc.Aggregate.consensus ~valid_after:3600. ~votes:(Array.to_list votes2)
+  in
+  (base, target)
+
+let test_consdiff_divergent_1k_roundtrip () =
+  let base_c, target_c = divergent_consensuses () in
+  let base = Dirdoc.Consensus.serialize base_c in
+  let target = Dirdoc.Consensus.serialize target_c in
+  checkb "population is ~1k relays" true (Dirdoc.Consensus.n_entries base_c > 900);
+  let d = Torclient.Consdiff.diff ~base ~target in
+  (match Torclient.Consdiff.patch ~base d with
+  | Ok patched -> checkb "patch(diff) = target at 9x1k scale" true (String.equal patched target)
+  | Error e -> Alcotest.fail e);
+  checkb "diff much smaller than the full document" true
+    (Torclient.Consdiff.wire_size d * 5 < String.length target)
+
+let test_consdiff_signing_payload () =
+  (* A client that applies a diff must end up byte-for-byte on the
+     document the authorities signed: reparsing the patched text yields
+     the target's exact signing payload (and digest), so the majority
+     signatures verify against the diff-assembled document. *)
+  let base_c, target_c = divergent_consensuses () in
+  let base = Dirdoc.Consensus.serialize base_c in
+  let target = Dirdoc.Consensus.serialize target_c in
+  let d = Torclient.Consdiff.diff ~base ~target in
+  match Torclient.Consdiff.patch ~base d with
+  | Error e -> Alcotest.fail e
+  | Ok patched -> (
+      match Dirdoc.Consensus.parse patched with
+      | Error e -> Alcotest.fail e
+      | Ok reparsed ->
+          checkb "signing payload byte-for-byte" true
+            (String.equal
+               (Dirdoc.Consensus.signing_payload reparsed)
+               (Dirdoc.Consensus.signing_payload target_c));
+          checkb "digest equal" true
+            (Crypto.Digest32.equal
+               (Dirdoc.Consensus.digest reparsed)
+               (Dirdoc.Consensus.digest target_c)))
+
+let test_consdiff_empty_fast_path () =
+  let base, _ = consensus_pair () in
+  let d = Torclient.Consdiff.diff ~base ~target:base in
+  checki "no commands" 0 (List.length d.Torclient.Consdiff.commands);
+  checkb "wire size is just the headers" true
+    (Torclient.Consdiff.wire_size d <= (2 * Crypto.Digest32.wire_size) + 32);
+  match Torclient.Consdiff.patch ~base d with
+  | Ok patched -> checkb "identity patch" true (String.equal patched base)
+  | Error e -> Alcotest.fail e
+
+(* --- Distribution tier -------------------------------------------------------- *)
+
+module Dist = Torclient.Distribution
+
+let dist_config =
+  {
+    Dist.default_config with
+    Dist.clients = 100_000;
+    caches = 8;
+    cohorts_per_cache = 32;
+    halt = 10800.;
+  }
+
+let run_dist ?(cfg = dist_config) () =
+  Dist.run cfg ~available_at:11100. ~full_bytes:600_000 ~diff_bytes:(Some 30_000)
+    ~horizon:(11100. +. 7200.)
+
+let test_distribution_deterministic () =
+  let a = run_dist () and b = run_dist () in
+  checkb "same config, same outcome" true (a = b)
+
+let test_distribution_metrics () =
+  let o = run_dist () in
+  checki "every client counted" 100_000 o.Dist.clients;
+  checki "cohort count" (8 * 32) o.Dist.cohorts;
+  (match (o.Dist.time_to_90pct_fresh, o.Dist.time_to_full_recovery) with
+  | Some t90, Some tfull ->
+      checkb "t90 positive" true (t90 > 0.);
+      checkb "t90 <= tfull" true (t90 <= tfull)
+  | _ -> Alcotest.fail "flash crowd must fully recover within the horizon");
+  (* Every client fetched exactly once, as a diff. *)
+  checki "diff fetches" 100_000 o.Dist.diff_fetches;
+  checki "no full fetches" 0 o.Dist.full_fetches;
+  checki "bytes = clients x diff size" (100_000 * 30_000) o.Dist.bytes_served;
+  checkb "halt winds up retries" true (o.Dist.failed_attempts > 0);
+  checkb "mean <= hottest cache" true
+    (o.Dist.bytes_per_cache <= float_of_int o.Dist.bytes_per_cache_max)
+
+let test_distribution_diffs_off () =
+  let o = run_dist ~cfg:{ dist_config with Dist.diffs = false } () in
+  checki "full fetches" 100_000 o.Dist.full_fetches;
+  checki "no diff fetches" 0 o.Dist.diff_fetches;
+  checki "bytes = clients x full size" (100_000 * 600_000) o.Dist.bytes_served
+
+let test_distribution_validation () =
+  let reject msg cfg =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore
+          (Dist.run cfg ~available_at:0. ~full_bytes:1000 ~diff_bytes:None ~horizon:10.))
+  in
+  reject "Distribution: clients must be positive" { dist_config with Dist.clients = 0 };
+  reject "Distribution: caches must be positive" { dist_config with Dist.caches = 0 };
+  reject "Distribution: negative halt" { dist_config with Dist.halt = -1. };
+  reject "Distribution: retry_max below retry_initial"
+    { dist_config with Dist.retry_initial = 60.; retry_max = 30. };
+  Alcotest.check_raises "bad full_bytes"
+    (Invalid_argument "Distribution.run: full_bytes must be positive") (fun () ->
+      ignore
+        (Dist.run dist_config ~available_at:0. ~full_bytes:0 ~diff_bytes:None ~horizon:10.))
+
+let test_distribution_canonical_distinct () =
+  let base = Dist.canonical_config dist_config in
+  List.iter
+    (fun (label, cfg) ->
+      checkb label false (String.equal base (Dist.canonical_config cfg)))
+    [
+      ("clients change", { dist_config with Dist.clients = 99_999 });
+      ("caches change", { dist_config with Dist.caches = 9 });
+      ("halt change", { dist_config with Dist.halt = 0. });
+      ("diffs change", { dist_config with Dist.diffs = false });
+    ]
+
 let suite =
   [
     ("verify: majority rule", `Quick, test_verify_majority);
     ("verify: duplicates and forgeries", `Quick, test_verify_duplicates_and_forgeries);
     ("verify: transplanted signatures", `Quick, test_verify_wrong_document);
     ("freshness windows", `Quick, test_freshness_windows);
+    ("freshness boundary semantics", `Quick, test_freshness_boundaries);
     ("circuit eligibility", `Quick, test_eligibility);
     ("circuit BadExit exclusion", `Quick, test_badexit_excluded);
     ("circuit distinct hops", `Quick, test_build_distinct_hops);
@@ -283,4 +446,12 @@ let suite =
     ("consdiff identity", `Quick, test_consdiff_identity);
     ("consdiff rejects wrong base/target", `Quick, test_consdiff_wrong_base);
     ("consdiff disjoint documents", `Quick, test_consdiff_disjoint_documents);
+    ("consdiff divergent 9x1k roundtrip", `Slow, test_consdiff_divergent_1k_roundtrip);
+    ("consdiff reproduces the signing payload", `Slow, test_consdiff_signing_payload);
+    ("consdiff empty-diff fast path", `Quick, test_consdiff_empty_fast_path);
+    ("distribution: deterministic", `Quick, test_distribution_deterministic);
+    ("distribution: flash-crowd metrics", `Quick, test_distribution_metrics);
+    ("distribution: full fetches without diffs", `Quick, test_distribution_diffs_off);
+    ("distribution: config validation", `Quick, test_distribution_validation);
+    ("distribution: canonical config distinct", `Quick, test_distribution_canonical_distinct);
   ]

@@ -150,7 +150,7 @@ let test_value_digest_binding () =
 (* --- Full protocol --------------------------------------------------------------- *)
 
 let test_protocol_happy_gst_zero () =
-  let env = R.make ~n_relays:200 () in
+  let env = R.of_spec { R.Spec.default with n_relays = 200 } in
   let detailed = Protocol.run_detailed env in
   let result = detailed.Protocol.result in
   checkb "success" true (R.success env result);
@@ -172,7 +172,7 @@ let test_protocol_happy_gst_zero () =
 
 let test_protocol_ddos_recovery () =
   let attacks = Attack.Ddos.knockout ~n:9 () in
-  let env = R.make ~n_relays:2000 ~attacks () in
+  let env = R.of_spec { R.Spec.default with n_relays = 2000; attacks } in
   let result = Protocol.run env in
   checkb "succeeds despite knockout" true (R.success env result);
   match R.decided_at_latest result with
@@ -180,14 +180,24 @@ let test_protocol_ddos_recovery () =
   | None -> Alcotest.fail "expected decision"
 
 let test_protocol_low_bandwidth () =
-  let env = R.make ~n_relays:1000 ~bandwidth_bits_per_sec:1e6 ~horizon:7200. () in
+  let env =
+    R.of_spec
+      { R.Spec.default with n_relays = 1000; bandwidth_bits_per_sec = 1e6; horizon = 7200. }
+  in
   let result = Protocol.run env in
   checkb "works at 1 Mbit/s where baselines fail" true (R.success env result);
   let baseline = Protocols.Current_v3.run env in
   checkb "baseline indeed fails" false (R.success env baseline)
 
 let test_protocol_equivocator () =
-  let env = R.make ~n_relays:200 ~behaviors:(behaviors_with [ (0, R.Equivocating) ]) () in
+  let env =
+    R.of_spec
+      {
+        R.Spec.default with
+        n_relays = 200;
+        behaviors = Some (behaviors_with [ (0, R.Equivocating) ]);
+      }
+  in
   let detailed = Protocol.run_detailed env in
   checkb "agreement with equivocator" true (R.agreement_holds env detailed.Protocol.result);
   checkb "success with equivocator" true (R.success env detailed.Protocol.result);
@@ -200,7 +210,12 @@ let test_protocol_equivocator () =
 
 let test_protocol_two_silent () =
   let env =
-    R.make ~n_relays:200 ~behaviors:(behaviors_with [ (3, R.Silent); (6, R.Silent) ]) ()
+    R.of_spec
+      {
+        R.Spec.default with
+        n_relays = 200;
+        behaviors = Some (behaviors_with [ (3, R.Silent); (6, R.Silent) ]);
+      }
   in
   let detailed = Protocol.run_detailed env in
   checkb "success with f silent" true (R.success env detailed.Protocol.result);
@@ -219,7 +234,14 @@ let test_protocol_two_silent () =
 let test_protocol_silent_leader () =
   (* Node 0 leads view 0 of HotStuff.  With it silent the protocol must
      rotate views until a live leader drives agreement through. *)
-  let env = R.make ~n_relays:200 ~behaviors:(behaviors_with [ (0, R.Silent) ]) () in
+  let env =
+    R.of_spec
+      {
+        R.Spec.default with
+        n_relays = 200;
+        behaviors = Some (behaviors_with [ (0, R.Silent) ]);
+      }
+  in
   let detailed = Protocol.run_detailed env in
   checkb "success despite silent leader" true (R.success env detailed.Protocol.result);
   Array.iteri
@@ -238,9 +260,12 @@ let test_protocol_crashed_leader () =
      the other eight authorities rotate leaders and finish without
      it. *)
   let env =
-    R.make ~n_relays:200
-      ~behaviors:(behaviors_with [ (0, R.Crashed { start = 0.; stop = 400. }) ])
-      ()
+    R.of_spec
+      {
+        R.Spec.default with
+        n_relays = 200;
+        behaviors = Some (behaviors_with [ (0, R.Crashed { start = 0.; stop = 400. }) ]);
+      }
   in
   let detailed = Protocol.run_detailed env in
   let result = detailed.Protocol.result in
@@ -259,9 +284,13 @@ let test_protocol_three_silent_blocks () =
   (* f+1 = 3 silent: below the agreement quorum, the protocol must not
      decide (but also must not decide inconsistently). *)
   let env =
-    R.make ~n_relays:100 ~horizon:600.
-      ~behaviors:(behaviors_with [ (1, R.Silent); (4, R.Silent); (7, R.Silent) ])
-      ()
+    R.of_spec
+      {
+        R.Spec.default with
+        n_relays = 100;
+        horizon = 600.;
+        behaviors = Some (behaviors_with [ (1, R.Silent); (4, R.Silent); (7, R.Silent) ]);
+      }
   in
   let result = Protocol.run env in
   checkb "no decision below quorum" false (R.success env result);
@@ -300,9 +329,15 @@ let qcheck_definition_5_1 =
         else []
       in
       let env =
-        R.make
-          ~seed:(Printf.sprintf "prop-%d" seed)
-          ~n_relays:100 ~behaviors ~attacks ~horizon:3600. ()
+        R.of_spec
+          {
+            R.Spec.default with
+            seed = Printf.sprintf "prop-%d" seed;
+            n_relays = 100;
+            behaviors = Some behaviors;
+            attacks;
+            horizon = 3600.;
+          }
       in
       let detailed = Protocol.run_detailed env in
       let honest = List.filter (fun i -> behaviors.(i) = R.Honest) (List.init 9 Fun.id) in
@@ -398,6 +433,66 @@ let test_doc_timeout_bounds_latency () =
   | _ -> Alcotest.fail "expected two successful rows"
 
 
+(* --- Distribution through the pipeline --------------------------------------- *)
+
+let dist_report ~diffs =
+  let env =
+    R.of_spec
+      {
+        R.Spec.default with
+        seed = "dist-savings";
+        n_relays = 1000;
+        distribution =
+          Some
+            {
+              Torclient.Distribution.default_config with
+              Torclient.Distribution.clients = 100_000;
+              caches = 8;
+              cohorts_per_cache = 32;
+              diffs;
+            };
+      }
+  in
+  Torpartial.Experiments.run Torpartial.Experiments.Ours env
+
+let test_distribution_steady_state_savings () =
+  (* Steady state (no halt): clients hold last hour's consensus, so a
+     diff fetch replaces the full download.  The paper-motivating bound:
+     serving diffs must cut directory bytes by at least 5x — here the
+     sizes come from the real serialized documents and the real
+     consdiff encoding, not fixtures. *)
+  let with_diffs = dist_report ~diffs:true in
+  let full = dist_report ~diffs:false in
+  match (with_diffs.R.distribution, full.R.distribution) with
+  | Some d, Some f ->
+      checkb "diff run recovers" true
+        (d.Torclient.Distribution.time_to_full_recovery <> None);
+      checkb "full run recovers" true
+        (f.Torclient.Distribution.time_to_full_recovery <> None);
+      checkb "all clients served as diffs" true
+        (d.Torclient.Distribution.diff_fetches = 100_000
+        && f.Torclient.Distribution.full_fetches = 100_000);
+      checkb "diffs cut steady-state bytes >= 5x" true
+        (f.Torclient.Distribution.bytes_served
+        >= 5 * d.Torclient.Distribution.bytes_served)
+  | _ -> Alcotest.fail "expected distribution outcomes on both runs"
+
+let test_distribution_skipped_on_failure () =
+  (* A run that produces no consensus has nothing to distribute. *)
+  let env =
+    R.of_spec
+      {
+        R.Spec.default with
+        seed = "dist-fail";
+        n_relays = 4000;
+        attacks = Attack.Ddos.bandwidth_attack ~n:9 ();
+        distribution = Some Torclient.Distribution.default_config;
+      }
+  in
+  let report = Torpartial.Experiments.run Torpartial.Experiments.Current env in
+  checkb "run fails under attack" false report.R.success;
+  checkb "no distribution outcome" true (report.R.distribution = None)
+
 (* --- Scenario files ---------------------------------------------------------- *)
 
 let test_scenario_parse_default () =
@@ -446,14 +541,43 @@ let test_scenario_errors () =
   ignore (expect_error "behavior 1 crashed:120:30" (* stop before start *));
   ignore (expect_error "behavior 1 crashed:soon:later");
   ignore (expect_error "behavior 1 crashed:30" (* missing stop *));
-  ignore (expect_error "attack 0 10 5 1.0" (* stop before start *))
+  ignore (expect_error "attack 0 10 5 1.0" (* stop before start *));
+  ignore (expect_error "clients many");
+  ignore (expect_error "clients 0");
+  ignore (expect_error "caches 0");
+  ignore (expect_error "halt -5");
+  ignore (expect_error "diffs maybe")
 
 let test_scenario_runs () =
   match Torpartial.Scenario.parse "protocol ours\nrelays 100\nseed s\n" with
   | Error e -> Alcotest.fail e
   | Ok sc ->
-      let result = Torpartial.Scenario.run sc in
-      checkb "scenario run succeeds" true (R.success sc.Torpartial.Scenario.env result)
+      let report = Torpartial.Scenario.run sc in
+      checkb "scenario run succeeds" true report.R.success
+
+let test_scenario_distribution_directives () =
+  let text =
+    "protocol ours\n\
+     relays 100\n\
+     seed dist\n\
+     clients 50000\n\
+     caches 8\n\
+     halt 3600\n\
+     diffs off\n"
+  in
+  match Torpartial.Scenario.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok sc -> (
+      match sc.Torpartial.Scenario.env.R.distribution with
+      | None -> Alcotest.fail "expected a distribution config"
+      | Some d ->
+          checki "clients" 50_000 d.Torclient.Distribution.clients;
+          checki "caches" 8 d.Torclient.Distribution.caches;
+          Alcotest.(check (float 0.)) "halt" 3600. d.Torclient.Distribution.halt;
+          checkb "diffs off" false d.Torclient.Distribution.diffs;
+          let report = Torpartial.Scenario.run sc in
+          checkb "scenario with distribution runs" true report.R.success;
+          checkb "distribution outcome attached" true (report.R.distribution <> None))
 
 let suite =
   [
@@ -483,4 +607,8 @@ let suite =
     ("scenario: directives", `Quick, test_scenario_directives);
     ("scenario: errors", `Quick, test_scenario_errors);
     ("scenario: runs", `Quick, test_scenario_runs);
+    ("scenario: distribution directives", `Quick, test_scenario_distribution_directives);
+    ("distribution: steady-state diff savings >= 5x", `Slow,
+      test_distribution_steady_state_savings);
+    ("distribution: skipped on failed runs", `Slow, test_distribution_skipped_on_failure);
   ]

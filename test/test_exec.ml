@@ -38,6 +38,25 @@ let test_spec_digest_stability () =
       };
       {
         R.Spec.default with
+        R.Spec.distribution = Some Torclient.Distribution.default_config;
+      };
+      {
+        R.Spec.default with
+        R.Spec.distribution =
+          Some { Torclient.Distribution.default_config with halt = 10800. };
+      };
+      {
+        R.Spec.default with
+        R.Spec.distribution =
+          Some { Torclient.Distribution.default_config with diffs = false };
+      };
+      {
+        R.Spec.default with
+        R.Spec.distribution =
+          Some { Torclient.Distribution.default_config with caches = 32 };
+      };
+      {
+        R.Spec.default with
         R.Spec.fault_plan =
           Some
             {
@@ -174,12 +193,12 @@ let test_sweep_compiles_grid () =
    jobs=4 runs both actually simulate. *)
 let summarize (job : Exec.Job.t) =
   let env = R.of_spec job.Exec.Job.spec in
-  let result = E.run job.Exec.Job.protocol env in
+  let report = E.run job.Exec.Job.protocol env in
   ( Exec.Job.key job,
-    R.success env result,
-    R.success_latency result,
-    R.decided_at_latest result,
-    Tor_sim.Stats.total_bytes_sent result.R.stats )
+    report.R.success,
+    report.R.success_latency,
+    report.R.decided_at_latest,
+    report.R.total_bytes )
 
 let test_fig10_subgrid_determinism () =
   let sweep = Exec.Sweep.make ~bandwidths_mbit:[ 50. ] ~relay_counts:[ 100; 150 ] () in
@@ -231,9 +250,9 @@ let test_chaos_breaks_current () =
   let env = R.of_spec spec in
   let current = E.run E.Current env in
   let ours = E.run E.Ours env in
-  checkb "current v3 fails" false (R.success env current);
-  checkb "ours succeeds" true (R.success env ours);
-  checkb "ours agreement holds" true (R.agreement_holds env ours)
+  checkb "current v3 fails" false current.R.success;
+  checkb "ours succeeds" true ours.R.success;
+  checkb "ours agreement holds" true ours.R.agreement
 
 let suite =
   [

@@ -9,8 +9,8 @@ module Sim = Tor_sim
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 
-let small_env ?attacks ?behaviors ?n_relays () =
-  R.make ?attacks ?behaviors ?n_relays:(Some (Option.value n_relays ~default:200)) ()
+let small_env ?(attacks = []) ?behaviors ?(n_relays = 200) () =
+  R.of_spec { R.Spec.default with attacks; behaviors; n_relays }
 
 let attack5 ?(residual = 0.5e6) () = Attack.Ddos.bandwidth_attack ~n:9 ~residual_bits_per_sec:residual ()
 
@@ -65,7 +65,7 @@ let test_current_happy () =
   | None -> Alcotest.fail "expected latency"
 
 let test_current_fig1_attack () =
-  let env = R.make ~n_relays:8000 ~attacks:(attack5 ()) () in
+  let env = R.of_spec { R.Spec.default with n_relays = 8000; attacks = attack5 () } in
   let result = Protocols.Current_v3.run env in
   checkb "attack breaks the protocol" false (R.success env result);
   let log = Sim.Trace.dump ~node:8 result.trace in
@@ -124,7 +124,7 @@ let test_sync_equivocation_secure () =
   checkb "equivocation logged" true (contains "Detected equivocation by authority 0")
 
 let test_sync_attack_fails () =
-  let env = R.make ~n_relays:8000 ~attacks:(attack5 ()) () in
+  let env = R.of_spec { R.Spec.default with n_relays = 8000; attacks = attack5 () } in
   let result = Protocols.Sync_ic.run env in
   checkb "attack breaks sync protocol too" false (R.success env result)
 
@@ -362,8 +362,13 @@ let test_ds_chain_rules () =
 
 let test_naive_retry_violates_agreement () =
   let env =
-    R.make ~seed:"naive-test" ~n_relays:500
-      ~attacks:(Protocols.Naive_retry.split_attack ()) ()
+    R.of_spec
+      {
+        R.Spec.default with
+        seed = "naive-test";
+        n_relays = 500;
+        attacks = Protocols.Naive_retry.split_attack ();
+      }
   in
   let res = Protocols.Naive_retry.run env in
   checkb "agreement violated" false res.Protocols.Naive_retry.agreement;
@@ -373,7 +378,7 @@ let test_naive_retry_violates_agreement () =
     (Array.for_all Option.is_some res.Protocols.Naive_retry.outputs)
 
 let test_naive_retry_healthy_is_fine () =
-  let env = R.make ~seed:"naive-test" ~n_relays:500 () in
+  let env = R.of_spec { R.Spec.default with seed = "naive-test"; n_relays = 500 } in
   let res = Protocols.Naive_retry.run env in
   checkb "agreement without attack" true res.Protocols.Naive_retry.agreement;
   checki "one iteration suffices" 1 res.Protocols.Naive_retry.iterations_run
@@ -382,8 +387,13 @@ let test_ours_safe_under_split_attack () =
   (* The same split scenario that breaks naive retry: the paper's
      protocol must keep agreement. *)
   let env =
-    R.make ~seed:"naive-test" ~n_relays:500
-      ~attacks:(Protocols.Naive_retry.split_attack ()) ()
+    R.of_spec
+      {
+        R.Spec.default with
+        seed = "naive-test";
+        n_relays = 500;
+        attacks = Protocols.Naive_retry.split_attack ();
+      }
   in
   let result = Torpartial.Protocol.run env in
   checkb "ours agrees" true (R.agreement_holds env result);
@@ -477,7 +487,7 @@ let test_tendermint_external_validity () =
   checki "nothing invalid decided" 0 (List.length (tm_values d))
 
 let test_full_protocol_over_tendermint () =
-  let env = R.make ~n_relays:300 () in
+  let env = R.of_spec { R.Spec.default with n_relays = 300 } in
   let result = Torpartial.Protocol.Over_tendermint.run env in
   checkb "success" true (R.success env result);
   checkb "agreement" true (R.agreement_holds env result);
@@ -491,7 +501,7 @@ let test_full_protocol_over_tendermint () =
   | _ -> Alcotest.fail "both engines should decide");
   (* Knockout recovery through the full stack. *)
   let attacks = Attack.Ddos.knockout ~n:9 () in
-  let env2 = R.make ~n_relays:300 ~attacks () in
+  let env2 = R.of_spec { R.Spec.default with n_relays = 300; attacks } in
   let r2 = Torpartial.Protocol.Over_tendermint.run env2 in
   checkb "knockout recovery" true (R.success env2 r2)
 
@@ -564,7 +574,7 @@ let test_pbft_gst_recovery () =
   checki "all decide after GST" 9 (List.length vals)
 
 let test_full_protocol_over_pbft () =
-  let env = R.make ~n_relays:300 () in
+  let env = R.of_spec { R.Spec.default with n_relays = 300 } in
   let result = Torpartial.Protocol.Over_pbft.run env in
   checkb "success" true (R.success env result);
   checkb "agreement" true (R.agreement_holds env result)
