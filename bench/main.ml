@@ -351,6 +351,10 @@ let micro () =
    Exercises the whole hot path at once: event scheduling, NIC
    reservations, vote digests, HMAC signatures, and aggregation. *)
 let macro_run name ~env ~protocol =
+  (* Keys carry the engine shard count (e.g. [@4d]) so the regression
+     gate always compares a configuration with itself: on a small CI
+     host a flat scaling curve is expected, never a failure. *)
+  let name = Printf.sprintf "%s@%dd" name (Protocols.Runenv.effective_shards env) in
   let t0 = Unix.gettimeofday () in
   let a0 = Gc.allocated_bytes () in
   let report = E.run protocol env in
@@ -395,7 +399,18 @@ let macro () =
          {
            (spec "macro-bench" 8000) with
            attacks = Attack.Ddos.bandwidth_attack ~n:9 ();
-         })
+         });
+  (* Multi-domain scaling curve: the same 32k-relay run over 1, 2, 4
+     and 8 engine shards.  Results are bit-identical at every width
+     (the tests pin it); the wall times show whatever speedup the host
+     's cores allow — on a single-core runner the curve is flat and
+     that is the honest number. *)
+  List.iter
+    (fun shards ->
+      macro_run "e2e-ours-32k-relays" ~protocol:E.Ours
+        ~env:
+          (Protocols.Runenv.of_spec { (spec "macro-bench" 32_000) with shards }))
+    [ 1; 2; 4; 8 ]
 
 (* --- distribution macro bench ---------------------------------------------- *)
 

@@ -67,7 +67,19 @@ let attack_arg =
           "DDoS on 5 of 9 authorities for the first 300 s: $(b,none), $(b,flood) \
            (0.5 Mbit/s residual), or $(b,knockout) (fully offline).")
 
-let make_env ?distribution ~seed ~relays ~bandwidth ~attack () =
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition the simulated nodes over $(docv) OCaml domains under \
+           conservative-lookahead synchronization.  Results are bit-identical \
+           at every value; only wall-clock time changes.  Composes with \
+           $(b,--jobs) sweep parallelism (each sweep worker runs its own \
+           sharded engine), clamped against the host's core count.")
+
+let make_env ?distribution ?(shards = 1) ~seed ~relays ~bandwidth ~attack () =
   let attacks =
     match attack with
     | No_attack -> []
@@ -82,6 +94,7 @@ let make_env ?distribution ~seed ~relays ~bandwidth ~attack () =
       bandwidth_bits_per_sec = bandwidth *. 1e6;
       attacks;
       distribution;
+      shards;
     }
 
 let print_distribution (o : Torclient.Distribution.outcome) =
@@ -108,11 +121,12 @@ let print_distribution (o : Torclient.Distribution.outcome) =
 (* --- run ------------------------------------------------------------------- *)
 
 let run_cmd =
-  let action protocol relays bandwidth seed attack =
-    let env = make_env ~seed ~relays ~bandwidth ~attack () in
+  let action protocol relays bandwidth seed attack shards =
+    let env = make_env ~shards ~seed ~relays ~bandwidth ~attack () in
     let report = E.run protocol env in
     Printf.printf "protocol:  %s\n" report.R.protocol;
     Printf.printf "relays:    %d\n" relays;
+    Printf.printf "shards:    %d domain(s)\n" (R.effective_shards env);
     Printf.printf "bandwidth: %.1f Mbit/s\n" bandwidth;
     Printf.printf "success:   %b\n" report.R.success;
     (match report.R.success_latency with
@@ -126,7 +140,11 @@ let run_cmd =
       (Tor_sim.Stats.dropped_labels report.R.result.R.stats);
     if report.R.success then 0 else 1
   in
-  let term = Term.(const action $ protocol_arg $ relays_arg $ bandwidth_arg $ seed_arg $ attack_arg) in
+  let term =
+    Term.(
+      const action $ protocol_arg $ relays_arg $ bandwidth_arg $ seed_arg
+      $ attack_arg $ shards_arg)
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one consensus instance of a directory protocol.")
     term

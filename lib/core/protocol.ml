@@ -68,8 +68,14 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
   let n = env.n in
   let f = Icps.fault_bound ~n in
   let need = Runenv.majority ~n in
-  let engine = Sim.Engine.create () in
-  let trace = Sim.Trace.create () in
+  let engine =
+    Sim.Engine.create
+      ~shards:(Runenv.effective_shards env)
+      ~nodes:n
+      ~lookahead:(Sim.Topology.min_latency env.topology)
+      ()
+  in
+  let trace = Sim.Trace.create ~lanes:(Sim.Engine.shard_count engine) () in
   let net =
     Sim.Net.create ~engine ~topology:env.topology
       ~bits_per_sec:env.bandwidth_bits_per_sec ()
@@ -78,18 +84,21 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
   let now () = Sim.Engine.now engine in
   let log ?node level fmt = Sim.Trace.logf trace ~time:(now ()) ?node level fmt in
   (* Message labels, interned once so per-send accounting is an array
-     add (DESIGN.md §7). *)
-  let stats = Sim.Net.stats net in
-  let lbl_document = Sim.Stats.intern stats "document" in
-  let lbl_proposal = Sim.Stats.intern stats "proposal" in
-  let lbl_agreement = Sim.Stats.intern stats "agreement" in
-  let lbl_fetch = Sim.Stats.intern stats "fetch" in
-  let lbl_fetch_reply = Sim.Stats.intern stats "fetch-reply" in
-  let lbl_cons_sig = Sim.Stats.intern stats "cons-sig" in
-  let lbl_sig_request = Sim.Stats.intern stats "sig-request" in
+     add (DESIGN.md §7) — on every shard, via [Net.intern]. *)
+  let lbl_document = Sim.Net.intern net "document" in
+  let lbl_proposal = Sim.Net.intern net "proposal" in
+  let lbl_agreement = Sim.Net.intern net "agreement" in
+  let lbl_fetch = Sim.Net.intern net "fetch" in
+  let lbl_fetch_reply = Sim.Net.intern net "fetch-reply" in
+  let lbl_cons_sig = Sim.Net.intern net "cons-sig" in
+  let lbl_sig_request = Sim.Net.intern net "sig-request" in
   (* Authorities that hold identical vote sets share one aggregation;
-     the memo is run-local, so parallel sweep runs stay independent. *)
-  let agg_memo = Dirdoc.Aggregate.Memo.create () in
+     the memo is run-local, one per shard so domains never share a
+     hash table (aggregation is pure — the memo only dedups work). *)
+  let agg_memos =
+    Array.init (Sim.Engine.shard_count engine) (fun _ ->
+        Dirdoc.Aggregate.Memo.create ())
+  in
   let nodes =
     Array.init n (fun id ->
         {
@@ -177,7 +186,8 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
                 (List.init n Fun.id)
             in
             let c =
-              Dirdoc.Aggregate.consensus_memo ~memo:agg_memo
+              Dirdoc.Aggregate.consensus_memo
+                ~memo:agg_memos.(Sim.Engine.current_shard engine)
                 ~valid_after:env.valid_after ~votes
             in
             let signature = Siground.set_consensus node.sig_round ~now:(now ()) c in
@@ -364,7 +374,7 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
     (fun node ->
       let id = node.id in
       ignore
-        (Sim.Engine.schedule engine ~at:0. (fun () ->
+        (Sim.Engine.schedule engine ~owner:id ~at:0. (fun () ->
              match env.behaviors.(id) with
              | Runenv.Silent -> ()
              | Runenv.Crashed { start; stop } when start <= 0. ->

@@ -33,8 +33,14 @@ let msg_size = function
 let run (env : Runenv.t) =
   let n = env.n in
   let need = Runenv.majority ~n in
-  let engine = Sim.Engine.create () in
-  let trace = Sim.Trace.create () in
+  let engine =
+    Sim.Engine.create
+      ~shards:(Runenv.effective_shards env)
+      ~nodes:n
+      ~lookahead:(Sim.Topology.min_latency env.topology)
+      ()
+  in
+  let trace = Sim.Trace.create ~lanes:(Sim.Engine.shard_count engine) () in
   let net =
     Sim.Net.create ~engine ~topology:env.topology
       ~bits_per_sec:env.bandwidth_bits_per_sec ()
@@ -54,18 +60,20 @@ let run (env : Runenv.t) =
   let log ?node level fmt = Sim.Trace.logf trace ~time:(now ()) ?node level fmt in
   (* Message labels, interned once so per-send accounting is an array
      add (DESIGN.md Â§7). *)
-  let stats = Sim.Net.stats net in
-  let lbl_vote = Sim.Stats.intern stats "vote" in
-  let lbl_vote_request = Sim.Stats.intern stats "vote-request" in
-  let lbl_vote_fetch = Sim.Stats.intern stats "vote-fetch" in
-  let lbl_sig = Sim.Stats.intern stats "sig" in
-  let lbl_sig_request = Sim.Stats.intern stats "sig-request" in
-  let lbl_sig_fetch = Sim.Stats.intern stats "sig-fetch" in
+  let lbl_vote = Sim.Net.intern net "vote" in
+  let lbl_vote_request = Sim.Net.intern net "vote-request" in
+  let lbl_vote_fetch = Sim.Net.intern net "vote-fetch" in
+  let lbl_sig = Sim.Net.intern net "sig" in
+  let lbl_sig_request = Sim.Net.intern net "sig-request" in
+  let lbl_sig_fetch = Sim.Net.intern net "sig-fetch" in
   (* Hoisted so the hot send path does not rebuild the option. *)
   let dir_deadline = Some Wire.dir_connection_timeout in
   (* Authorities holding identical vote sets share one aggregation;
      run-local, so parallel sweep runs stay independent. *)
-  let agg_memo = Dirdoc.Aggregate.Memo.create () in
+  let agg_memos =
+    Array.init (Sim.Engine.shard_count engine) (fun _ ->
+        Dirdoc.Aggregate.Memo.create ())
+  in
   let send ~src ~dst ~label m =
     (* Vote-sized transfers ride Tor's directory connections and give
        up after the client timeout; control messages are too small to
@@ -135,7 +143,7 @@ let run (env : Runenv.t) =
     (fun node ->
       let id = node.id in
       ignore
-        (Sim.Engine.schedule engine ~at:0. (fun () ->
+        (Sim.Engine.schedule engine ~owner:id ~at:0. (fun () ->
              match env.behaviors.(id) with
              | Runenv.Silent -> ()
              | Runenv.Honest -> vote_now node
@@ -223,7 +231,8 @@ let run (env : Runenv.t) =
                    (List.length held) need
                else begin
                  let c =
-                   Dirdoc.Aggregate.consensus_memo ~memo:agg_memo
+                   Dirdoc.Aggregate.consensus_memo
+                     ~memo:agg_memos.(Sim.Engine.current_shard engine)
                      ~valid_after:env.valid_after ~votes:held
                  in
                  let signature = Siground.set_consensus node.sig_round ~now:(now ()) c in

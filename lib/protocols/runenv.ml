@@ -25,6 +25,7 @@ type t = {
   fault_plan : Sim.Fault.plan option;
   distribution : Torclient.Distribution.config option;
   horizon : Sim.Simtime.t;
+  shards : int;
 }
 
 let awake t id ~now =
@@ -57,6 +58,7 @@ module Spec = struct
     fault_plan : Sim.Fault.plan option;
     distribution : Torclient.Distribution.config option;
     horizon : Sim.Simtime.t;
+    shards : int;
   }
 
   let default =
@@ -72,6 +74,7 @@ module Spec = struct
       fault_plan = None;
       distribution = None;
       horizon = 7200.;
+      shards = 1;
     }
 
   (* Canonical serialization for job keying.  Floats are printed with
@@ -129,6 +132,7 @@ module Spec = struct
     | None -> Buffer.add_string buf "default;"
     | Some d -> s (Torclient.Distribution.canonical_config d));
     f t.horizon;
+    i t.shards;
     Buffer.contents buf
 
   let digest t = Crypto.Digest32.hex (Crypto.Digest32.of_string (canonical t))
@@ -138,7 +142,8 @@ end
 
 let of_spec ?votes (spec : Spec.t) =
   let { Spec.seed; valid_after; n; n_relays; bandwidth_bits_per_sec; attacks;
-        behaviors; divergence; fault_plan; distribution; horizon } = spec in
+        behaviors; divergence; fault_plan; distribution; horizon; shards } = spec in
+  if shards < 1 then invalid_arg "Runenv.of_spec: shards must be >= 1";
   let keyring = Crypto.Keyring.create ~seed ~n () in
   let rng = Sim.Rng.of_string_seed seed in
   let topology = Sim.Topology.realistic ~n ~rng:(Sim.Rng.split rng) in
@@ -186,7 +191,18 @@ let of_spec ?votes (spec : Spec.t) =
     fault_plan;
     distribution;
     horizon;
+    shards;
   }
+
+(* The shard count the engine will actually run: sharding needs at
+   least two nodes and a positive finite cross-node lookahead (the
+   engine would clamp to 1 anyway; computing it here lets callers and
+   docs reason about it). *)
+let effective_shards env =
+  let lookahead = Sim.Topology.min_latency env.topology in
+  if env.shards <= 1 || env.n < 2 then 1
+  else if not (lookahead > 0.) || Sim.Simtime.is_infinite lookahead then 1
+  else min env.shards env.n
 
 type authority_result = {
   consensus : Dirdoc.Consensus.t option;

@@ -35,6 +35,10 @@ type t = {
   distribution : Torclient.Distribution.config option;
       (** downstream cache/client tier; [None] = agreement core only *)
   horizon : Tor_sim.Simtime.t;       (** stop simulating at this time *)
+  shards : int;
+      (** requested engine shard (domain) count; see
+          {!effective_shards}.  Results are bit-identical at every
+          shard count — this only chooses the execution strategy. *)
 }
 
 val awake : t -> int -> now:Tor_sim.Simtime.t -> bool
@@ -72,6 +76,12 @@ module Spec : sig
             {!canonical}/{!digest}, so distinct distribution configs
             always key distinct jobs. *)
     horizon : Tor_sim.Simtime.t;
+    shards : int;
+        (** engine shard (domain) count for the simulation run,
+            default 1.  Participates in {!canonical}/{!digest} (the
+            execution strategy is part of the experiment description)
+            even though results are bit-identical at every value —
+            the determinism tests rely on exactly that. *)
   }
 
   val default : t
@@ -101,6 +111,13 @@ val of_spec : ?votes:Dirdoc.Vote.t array -> Spec.t -> t
     [divergence], so a cached population is exactly what would have
     been generated).  Raises [Invalid_argument] on inconsistent
     array lengths or malformed attack windows. *)
+
+val effective_shards : t -> int
+(** The shard count the engine will actually use for this environment:
+    [1] unless [shards > 1], [n >= 2], and the topology's
+    {!Tor_sim.Topology.min_latency} is positive and finite (the
+    conservative lookahead needs a real lower bound), and never more
+    than [n]. *)
 
 (** Outcome of one authority at the end of a run. *)
 type authority_result = {

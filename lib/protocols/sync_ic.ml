@@ -55,8 +55,14 @@ let chain_valid keyring ~origin ~digest chain =
 let run (env : Runenv.t) =
   let n = env.n in
   let need = Runenv.majority ~n in
-  let engine = Sim.Engine.create () in
-  let trace = Sim.Trace.create () in
+  let engine =
+    Sim.Engine.create
+      ~shards:(Runenv.effective_shards env)
+      ~nodes:n
+      ~lookahead:(Sim.Topology.min_latency env.topology)
+      ()
+  in
+  let trace = Sim.Trace.create ~lanes:(Sim.Engine.shard_count engine) () in
   let net =
     Sim.Net.create ~engine ~topology:env.topology
       ~bits_per_sec:env.bandwidth_bits_per_sec ()
@@ -78,14 +84,16 @@ let run (env : Runenv.t) =
   let log ?node level fmt = Sim.Trace.logf trace ~time:(now ()) ?node level fmt in
   (* Message labels, interned once so per-send accounting is an array
      add (DESIGN.md Â§7). *)
-  let stats = Sim.Net.stats net in
-  let lbl_ds_vote = Sim.Stats.intern stats "ds-vote" in
-  let lbl_ds_echo = Sim.Stats.intern stats "ds-echo" in
-  let lbl_sig = Sim.Stats.intern stats "sig" in
-  let lbl_sig_request = Sim.Stats.intern stats "sig-request" in
-  let lbl_sig_fetch = Sim.Stats.intern stats "sig-fetch" in
+  let lbl_ds_vote = Sim.Net.intern net "ds-vote" in
+  let lbl_ds_echo = Sim.Net.intern net "ds-echo" in
+  let lbl_sig = Sim.Net.intern net "sig" in
+  let lbl_sig_request = Sim.Net.intern net "sig-request" in
+  let lbl_sig_fetch = Sim.Net.intern net "sig-fetch" in
   let dir_deadline = Some Wire.dir_connection_timeout in
-  let agg_memo = Dirdoc.Aggregate.Memo.create () in
+  let agg_memos =
+    Array.init (Sim.Engine.shard_count engine) (fun _ ->
+        Dirdoc.Aggregate.Memo.create ())
+  in
   let send ~src ~dst ~label m =
     let deadline =
       match m with
@@ -167,7 +175,7 @@ let run (env : Runenv.t) =
     (fun node ->
       let id = node.id in
       ignore
-        (Sim.Engine.schedule engine ~at:0. (fun () ->
+        (Sim.Engine.schedule engine ~owner:id ~at:0. (fun () ->
              match env.behaviors.(id) with
              | Runenv.Silent -> ()
              | Runenv.Honest -> broadcast_own_vote node
@@ -223,7 +231,8 @@ let run (env : Runenv.t) =
                    (List.length held) need
                else begin
                  let c =
-                   Dirdoc.Aggregate.consensus_memo ~memo:agg_memo
+                   Dirdoc.Aggregate.consensus_memo
+                     ~memo:agg_memos.(Sim.Engine.current_shard engine)
                      ~valid_after:env.valid_after ~votes:held
                  in
                  let signature = Siground.set_consensus node.sig_round ~now:(now ()) c in

@@ -1,0 +1,11 @@
+(* Domain-local shard index.  The sharded engine runs shard [d] on
+   domain [d]; modules that need to know "which shard am I executing
+   on" (Engine's clock, Trace's lanes, Net's pools) read it from
+   domain-local storage instead of threading a parameter through every
+   callback.  The main domain — and every domain that never joins a
+   sharded run, e.g. [Exec.Pool] workers — reads the default [0], which
+   is always correct for single-shard engines. *)
+
+let key = Domain.DLS.new_key (fun () -> ref 0)
+let current () = !(Domain.DLS.get key)
+let set d = Domain.DLS.get key := d

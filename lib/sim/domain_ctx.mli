@@ -1,0 +1,14 @@
+(** Domain-local shard index for the multi-domain engine.
+
+    During a sharded {!Engine.run}, domain [d] executes shard [d] and
+    publishes its index here; {!Engine}, {!Net} and {!Trace} read it to
+    route clock reads, stats updates and log records to domain-local
+    state.  Outside a sharded run (the main domain, [Exec.Pool]
+    workers, freshly spawned domains) the value is [0]. *)
+
+val current : unit -> int
+(** The shard index of the calling domain ([0] outside sharded runs). *)
+
+val set : int -> unit
+(** Publish the calling domain's shard index.  Called by the engine's
+    shard workers at spawn; ordinary code never needs it. *)

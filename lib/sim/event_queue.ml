@@ -89,6 +89,17 @@ let push q ~time payload =
   q.size <- q.size + 1;
   sift_up q (q.size - 1) time seq payload
 
+(* Like [push] but with a caller-chosen tie-break key instead of the
+   queue's own insertion counter.  The sharded engine derives keys from
+   (creator node, per-creator counter), which makes the pop order at
+   equal times independent of how nodes are partitioned into queues. *)
+let push_keyed q ~time ~key payload =
+  if Float.is_nan time || Simtime.is_infinite time then
+    invalid_arg "Event_queue.push: time must be finite";
+  grow q payload;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1) time key payload
+
 (* Remove the root, re-heapifying with the last slot's entry.  The
    vacated slot keeps the popped payload (it is a value the caller now
    owns, so the array never retains a payload longer than the pop that
@@ -112,6 +123,16 @@ let pop q =
 let pop_if_before q ~horizon ~default =
   if q.size = 0 || q.times.(0) > horizon then default
   else snd (pop_root q)
+
+(* Two-bound pop for conservative-lookahead rounds: the cross-shard
+   safety horizon is exclusive (an event AT the horizon may tie with
+   mail another shard has not published yet), while the run's [until]
+   cap stays inclusive, matching [pop_if_before]. *)
+let pop_if_within q ~strict ~le ~default =
+  if q.size = 0 then default
+  else
+    let head = q.times.(0) in
+    if head >= strict || head > le then default else snd (pop_root q)
 
 let peek_time q = if q.size = 0 then None else Some q.times.(0)
 let size q = q.size

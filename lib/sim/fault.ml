@@ -109,9 +109,46 @@ let pp ppf plan =
 
 (* --- runtime injector ---------------------------------------------------- *)
 
-type t = { plan : plan; rng : Rng.t }
+(* Randomness is keyed per message, not drawn from one global stream:
+   message number [k] on link (src, dst) gets its own SplitMix64 stream
+   seeded by chaining the mixer over (plan seed, src, dst, k).  The
+   draws a message sees then depend only on its position in ITS link's
+   send sequence — which is the sender's program order — never on how
+   sends on different links interleave globally.  That is what lets the
+   sharded engine replay a plan bit-identically at any shard count:
+   per-node event order is sharding-invariant, global order is not. *)
+type t = {
+  plan : plan;
+  base : int64; (* plan-keyed seed for per-message streams *)
+  has_prob : bool; (* any fault kind that consumes draws? *)
+  mutable n : int; (* bound node count; 0 until [bind] *)
+  mutable counters : int array; (* n*n per-(src,dst) message counters *)
+  mutable fallback : int; (* message counter when unbound *)
+}
 
-let instantiate plan = { plan; rng = Rng.of_string_seed ("fault:" ^ digest plan) }
+let instantiate plan =
+  let has_prob =
+    List.exists
+      (fun f ->
+        match f.kind with
+        | Drop _ | Delay _ | Duplicate _ -> true
+        | Partition _ | Crash _ -> false)
+      plan.faults
+  in
+  {
+    plan;
+    base = Rng.seed_of_string ("fault:" ^ digest plan);
+    has_prob;
+    n = 0;
+    counters = [||];
+    fallback = 0;
+  }
+
+let bind t ~n =
+  if n <= 0 then invalid_arg "Fault.bind: n must be positive";
+  t.n <- n;
+  t.counters <- Array.make (n * n) 0;
+  t.fallback <- 0
 
 let plan t = t.plan
 
@@ -123,27 +160,51 @@ let matches pat v = pat = any || pat = v
 
 let active flt ~now = now >= flt.start && now < flt.stop
 
+let message_stream t ~src ~dst =
+  let k =
+    if t.n > 0 then begin
+      let i = (src * t.n) + dst in
+      let c = t.counters.(i) in
+      t.counters.(i) <- c + 1;
+      c
+    end
+    else begin
+      (* Unbound injector (plain [decide] callers outside a [Net]):
+         fall back to a global message counter, deterministic in call
+         order. *)
+      let c = t.fallback in
+      t.fallback <- c + 1;
+      c
+    end
+  in
+  let s = Rng.mix64 (Int64.add t.base (Int64.of_int (src + 1))) in
+  let s = Rng.mix64 (Int64.add s (Int64.of_int (dst + 1))) in
+  Rng.create (Rng.mix64 (Int64.add s (Int64.of_int k)))
+
 (* Every matching probabilistic fault consumes its draw, even when the
-   message is already doomed: the RNG stream position then depends only
-   on the message sequence and the plan, never on which earlier fault
-   fired first. *)
+   message is already doomed: the draw sequence within a message then
+   depends only on the plan, never on which earlier fault fired first.
+   The per-link counter advances on every call whether or not a fault
+   is currently active, so a message's stream depends only on its link
+   sequence number. *)
 let decide t ~now ~src ~dst =
+  let rng = if t.has_prob then Some (message_stream t ~src ~dst) else None in
+  let draw bound =
+    match rng with Some r -> Rng.float r bound | None -> assert false
+  in
   let drop = ref false and extra = ref 0. and dup = ref false in
   List.iter
     (fun flt ->
       if active flt ~now then
         match flt.kind with
         | Drop { src = s; dst = d; prob } ->
-            if matches s src && matches d dst && Rng.float t.rng 1. < prob then
-              drop := true
+            if matches s src && matches d dst && draw 1. < prob then drop := true
         | Partition { a; b } ->
             if (a = src && b = dst) || (a = dst && b = src) then drop := true
         | Delay { src = s; dst = d; max_extra } ->
-            if matches s src && matches d dst then
-              extra := !extra +. Rng.float t.rng max_extra
+            if matches s src && matches d dst then extra := !extra +. draw max_extra
         | Duplicate { src = s; dst = d; prob } ->
-            if matches s src && matches d dst && Rng.float t.rng 1. < prob then
-              dup := true
+            if matches s src && matches d dst && draw 1. < prob then dup := true
         | Crash _ -> ())
     t.plan.faults;
   if (not !drop) && !extra = 0. && not !dup then pass

@@ -7,10 +7,14 @@
     every send and delivery, so each protocol driver inherits the whole
     fault model without code of its own.
 
-    All randomness is drawn from an {!Rng} stream keyed off the plan's
-    canonical serialization, and draws happen in simulated-event order,
-    so a (spec, plan) pair replays bit-identically — across processes
-    and across worker counts.
+    All randomness is keyed off the plan's canonical serialization,
+    per message: message [k] on link [(src, dst)] draws from its own
+    stream seeded by [(plan, src, dst, k)].  A message's draws then
+    depend only on its position in its link's send sequence — the
+    sender's program order — so a (spec, plan) pair replays
+    bit-identically across processes, worker counts, AND engine shard
+    counts (the global interleaving of sends on different links is not
+    sharding-invariant; per-link sequence numbers are).
 
     Window convention: a fault is active while [start <= now < stop]
     (half-open, like the NIC's {!Nic.limit_window}). *)
@@ -83,6 +87,13 @@ type t
 
 val instantiate : plan -> t
 val plan : t -> plan
+
+val bind : t -> n:int -> unit
+(** [bind t ~n] sizes the injector's per-link message counters for an
+    [n]-node network and resets them; {!Net.set_fault} calls it.  An
+    unbound injector still works (a single global message counter,
+    deterministic in call order) but its draws are then NOT
+    sharding-invariant.  Raises [Invalid_argument] if [n <= 0]. *)
 
 type decision = {
   drop : bool;

@@ -1,13 +1,24 @@
 (* Every message in flight is a slot in a struct-of-arrays pool, and
    the whole egress→arrival→finish chain runs through ONE engine
    callback (the trampoline): each event is (callback, flight index),
-   so a send allocates no closures — the old implementation allocated
-   up to three nested ones per message.  A flight's [stage] tells the
+   so a send allocates no closures.  A flight's [stage] tells the
    trampoline what the next step is; slots recycle through a free list
    and only grow at a new high-water mark of concurrently in-flight
    messages.  A recycled slot keeps its last payload until reuse — the
    payloads are the simulation's own documents, alive elsewhere, so
-   nothing leaks beyond the run. *)
+   nothing leaks beyond the run.
+
+   Sharded engines get one pool and one [Stats] instance per shard, so
+   the hot path never touches another domain's memory: a flight lives
+   in the pool of the shard that executes its events — the
+   destination's.  A send whose destination lives on another shard
+   becomes a [mail] value in a per-(src shard, dst shard) mailbox,
+   carrying its pre-computed arrival time and tie-break key; the
+   destination shard drains its mailboxes at every round start (the
+   engine's round hook) and schedules the arrival locally.  Mailbox
+   accesses are data-race-free because rounds are barrier-stepped:
+   senders push strictly between the barriers of round r, the receiver
+   drains strictly before the first barrier of round r+1. *)
 
 let stage_self = 0 (* deliver locally, no bandwidth cost *)
 let stage_arrival = 1 (* reserve ingress on the receiver's NIC *)
@@ -19,15 +30,9 @@ let stage_finish_expired = 3 (* ingress done but past the deadline: drop *)
 let flag_duplicate = 4
 let stage_of bits = bits land 3
 
-type 'm t = {
-  engine : Engine.t;
-  topology : Topology.t;
-  nics : Nic.t array; (* one shared NIC per node: egress and ingress *)
-  stats : Stats.t;
-  mutable fault : Fault.t option; (* installed injector, if any *)
-  mutable handler : (dst:int -> src:int -> 'm -> unit) option;
-  mutable trampoline : Engine.callback option;
-  (* flight pool, struct-of-arrays *)
+(* Per-shard flight pool plus that shard's private statistics. *)
+type 'm pool = {
+  p_stats : Stats.t;
   mutable fl_msg : 'm array;
   mutable fl_src : int array;
   mutable fl_dst : int array;
@@ -41,9 +46,59 @@ type 'm t = {
   mutable fl_free : int;
 }
 
-let n t = Topology.n t.topology
+(* A cross-shard message: everything the destination shard needs to
+   schedule the next stage locally.  The send-side work (egress
+   reservation, fault verdict, arrival computation, stats) has already
+   happened on the source shard. *)
+type 'm mail = {
+  m_msg : 'm;
+  m_src : int;
+  m_dst : int;
+  m_size : int;
+  m_stage : int; (* stage bits to install: self, or arrival (+dup) *)
+  m_label : Stats.label;
+  m_sent_at : float;
+  m_deadline : float;
+  m_arrival : float; (* absolute time of the next stage's event *)
+  m_key : int; (* tie-break key allocated on the sending shard *)
+}
+
+type 'm t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  nics : Nic.t array; (* one shared NIC per node: egress and ingress *)
+  pools : 'm pool array; (* one per engine shard *)
+  outboxes : 'm mail Queue.t array; (* [src_shard * shards + dst_shard] *)
+  mutable interned : string list; (* newest first; replayed into merges *)
+  mutable fault : Fault.t option; (* installed injector, if any *)
+  mutable handler : (dst:int -> src:int -> 'm -> unit) option;
+  mutable trampoline : Engine.callback option;
+}
+
+let n t = Array.length t.nics
 let engine t = t.engine
-let stats t = t.stats
+let shards t = Array.length t.pools
+
+let stats t =
+  if shards t = 1 then t.pools.(0).p_stats
+  else begin
+    (* Merged snapshot: intern in the shared order first so the ids are
+       stable, then sum the shards.  Counters are order-insensitive
+       sums, so the snapshot equals the single-shard instance. *)
+    let m = Stats.create ~n:(n t) in
+    List.iter (fun name -> ignore (Stats.intern m name)) (List.rev t.interned);
+    Array.iter (fun p -> Stats.merge_into ~into:m p.p_stats) t.pools;
+    m
+  end
+
+let intern t name =
+  if not (List.mem name t.interned) then t.interned <- name :: t.interned;
+  (* Every pool interns the same name sequence, so one name gets the
+     same dense id on every shard and a label travels with a flight or
+     mail across shards unchanged. *)
+  let id = ref Stats.no_label in
+  Array.iter (fun p -> id := Stats.intern p.p_stats name) t.pools;
+  !id
 
 let check_node t id name =
   if id < 0 || id >= n t then invalid_arg ("Net." ^ name ^ ": node out of range")
@@ -54,7 +109,10 @@ let nic t id =
 
 let set_handler t f = t.handler <- Some f
 
-let set_fault t fault = t.fault <- Some fault
+let set_fault t fault =
+  Fault.bind fault ~n:(n t);
+  t.fault <- Some fault
+
 let fault t = t.fault
 
 let deliver t ~dst ~src msg =
@@ -62,41 +120,41 @@ let deliver t ~dst ~src msg =
   | None -> failwith "Net.deliver: no handler installed"
   | Some f -> f ~dst ~src msg
 
-let alloc_flight t msg =
-  if t.fl_free < 0 then begin
+let alloc_flight p msg =
+  if p.fl_free < 0 then begin
     (* grow the pool, seeding fresh slots with the message at hand *)
-    let cap = Array.length t.fl_src in
+    let cap = Array.length p.fl_src in
     let fresh = max 16 (2 * cap) in
-    let grow_int a = let b = Array.make fresh 0 in Array.blit a 0 b 0 t.fl_len; b in
-    let grow_float a = let b = Array.make fresh nan in Array.blit a 0 b 0 t.fl_len; b in
+    let grow_int a = let b = Array.make fresh 0 in Array.blit a 0 b 0 p.fl_len; b in
+    let grow_float a = let b = Array.make fresh nan in Array.blit a 0 b 0 p.fl_len; b in
     let msgs = Array.make fresh msg in
-    Array.blit t.fl_msg 0 msgs 0 t.fl_len;
-    t.fl_msg <- msgs;
-    t.fl_src <- grow_int t.fl_src;
-    t.fl_dst <- grow_int t.fl_dst;
-    t.fl_size <- grow_int t.fl_size;
-    t.fl_stage <- grow_int t.fl_stage;
-    t.fl_label <-
+    Array.blit p.fl_msg 0 msgs 0 p.fl_len;
+    p.fl_msg <- msgs;
+    p.fl_src <- grow_int p.fl_src;
+    p.fl_dst <- grow_int p.fl_dst;
+    p.fl_size <- grow_int p.fl_size;
+    p.fl_stage <- grow_int p.fl_stage;
+    p.fl_label <-
       (let b = Array.make fresh Stats.no_label in
-       Array.blit t.fl_label 0 b 0 t.fl_len;
+       Array.blit p.fl_label 0 b 0 p.fl_len;
        b);
-    t.fl_sent_at <- grow_float t.fl_sent_at;
-    t.fl_deadline <- grow_float t.fl_deadline;
-    t.fl_next <- grow_int t.fl_next;
+    p.fl_sent_at <- grow_float p.fl_sent_at;
+    p.fl_deadline <- grow_float p.fl_deadline;
+    p.fl_next <- grow_int p.fl_next;
     for i = cap to fresh - 1 do
-      t.fl_next.(i) <- (if i + 1 < fresh then i + 1 else -1)
+      p.fl_next.(i) <- (if i + 1 < fresh then i + 1 else -1)
     done;
-    t.fl_free <- cap;
-    t.fl_len <- fresh
+    p.fl_free <- cap;
+    p.fl_len <- fresh
   end;
-  let fl = t.fl_free in
-  t.fl_free <- t.fl_next.(fl);
-  t.fl_msg.(fl) <- msg;
+  let fl = p.fl_free in
+  p.fl_free <- p.fl_next.(fl);
+  p.fl_msg.(fl) <- msg;
   fl
 
-let release_flight t fl =
-  t.fl_next.(fl) <- t.fl_free;
-  t.fl_free <- fl
+let release_flight p fl =
+  p.fl_next.(fl) <- p.fl_free;
+  p.fl_free <- fl
 
 (* Whether [node] is inside an injected crash window right now. *)
 let crashed_now t node =
@@ -104,116 +162,188 @@ let crashed_now t node =
   | None -> false
   | Some fa -> Fault.crashed fa ~node ~now:(Engine.now t.engine)
 
+(* The pool of the shard this domain executes.  Flights are always
+   touched from the shard that owns their events, so this is the pool
+   the flight index is valid in. *)
+let my_pool t = t.pools.(Engine.current_shard t.engine)
+
 let trampoline t fl =
-  let bits = t.fl_stage.(fl) in
+  let p = my_pool t in
+  let bits = p.fl_stage.(fl) in
   let stage = stage_of bits in
   if stage = stage_self then begin
-    let src = t.fl_src.(fl) and dst = t.fl_dst.(fl) and msg = t.fl_msg.(fl) in
-    let label = t.fl_label.(fl) in
-    release_flight t fl;
-    if crashed_now t dst then Stats.record_drop t.stats ~node:dst ~label
+    let src = p.fl_src.(fl) and dst = p.fl_dst.(fl) and msg = p.fl_msg.(fl) in
+    let label = p.fl_label.(fl) in
+    release_flight p fl;
+    if crashed_now t dst then Stats.record_drop p.p_stats ~node:dst ~label
     else deliver t ~dst ~src msg
   end
   else if stage = stage_arrival then begin
-    let dst = t.fl_dst.(fl) and size = t.fl_size.(fl) in
+    let dst = p.fl_dst.(fl) and size = p.fl_size.(fl) in
     let arrival = Engine.now t.engine in
     (* Reserve the receiver's NIC at arrival, so ingress reservations
        happen in arrival order, not send order. *)
     let finish = Nic.reserve t.nics.(dst) ~now:arrival ~bytes:size in
     if Simtime.is_infinite finish then begin
-      Stats.record_drop t.stats ~node:dst ~label:t.fl_label.(fl);
-      release_flight t fl
+      Stats.record_drop p.p_stats ~node:dst ~label:p.fl_label.(fl);
+      release_flight p fl
     end
     else begin
-      let deadline = t.fl_deadline.(fl) in
+      let deadline = p.fl_deadline.(fl) in
       let expired =
-        (not (Float.is_nan deadline)) && finish -. t.fl_sent_at.(fl) > deadline
+        (not (Float.is_nan deadline)) && finish -. p.fl_sent_at.(fl) > deadline
       in
-      t.fl_stage.(fl) <-
+      p.fl_stage.(fl) <-
         (if expired then stage_finish_expired else stage_finish)
         lor (bits land flag_duplicate);
       match t.trampoline with
-      | Some cb -> ignore (Engine.schedule_call t.engine ~at:finish cb fl)
+      | Some cb -> ignore (Engine.schedule_call t.engine ~owner:dst ~at:finish cb fl)
       | None -> assert false
     end
   end
   else begin
     (* stage_finish / stage_finish_expired *)
-    let dst = t.fl_dst.(fl) and label = t.fl_label.(fl) in
-    Stats.record_received t.stats ~node:dst ~bytes:t.fl_size.(fl);
+    let dst = p.fl_dst.(fl) and label = p.fl_label.(fl) in
+    Stats.record_received p.p_stats ~node:dst ~bytes:p.fl_size.(fl);
     if stage = stage_finish_expired then begin
-      Stats.record_drop t.stats ~node:dst ~label;
-      release_flight t fl
+      Stats.record_drop p.p_stats ~node:dst ~label;
+      release_flight p fl
     end
     else if crashed_now t dst then begin
       (* The receiver is inside a crash window when ingress completes:
          the message reached a dead node. *)
-      Stats.record_drop t.stats ~node:dst ~label;
-      release_flight t fl
+      Stats.record_drop p.p_stats ~node:dst ~label;
+      release_flight p fl
     end
     else begin
-      let src = t.fl_src.(fl) and msg = t.fl_msg.(fl) in
+      let src = p.fl_src.(fl) and msg = p.fl_msg.(fl) in
       let duplicate = bits land flag_duplicate <> 0 in
-      release_flight t fl;
+      release_flight p fl;
       deliver t ~dst ~src msg;
       if duplicate then deliver t ~dst ~src msg
     end
   end
 
+let the_trampoline t =
+  match t.trampoline with Some cb -> cb | None -> assert false
+
+(* Drain every mailbox addressed to shard [d]: allocate the flight in
+   [d]'s pool and schedule its next stage locally, under the tie-break
+   key allocated on the sending shard.  Runs on [d]'s domain at round
+   start (and once before single-threaded [run]s via the same hook).
+   The arrival times of drained mail are never in [d]'s past — that is
+   exactly the engine's lookahead invariant. *)
+let drain t d =
+  let s = shards t in
+  let p = t.pools.(d) in
+  for src_sh = 0 to s - 1 do
+    let q = t.outboxes.((src_sh * s) + d) in
+    while not (Queue.is_empty q) do
+      let m = Queue.pop q in
+      let fl = alloc_flight p m.m_msg in
+      p.fl_src.(fl) <- m.m_src;
+      p.fl_dst.(fl) <- m.m_dst;
+      p.fl_size.(fl) <- m.m_size;
+      p.fl_stage.(fl) <- m.m_stage;
+      p.fl_label.(fl) <- m.m_label;
+      p.fl_sent_at.(fl) <- m.m_sent_at;
+      p.fl_deadline.(fl) <- m.m_deadline;
+      ignore
+        (Engine.schedule_call_keyed t.engine ~owner:m.m_dst ~at:m.m_arrival
+           ~key:m.m_key (the_trampoline t) fl)
+    done
+  done
+
+let fresh_pool ~n () =
+  {
+    p_stats = Stats.create ~n;
+    fl_msg = [||];
+    fl_src = [||];
+    fl_dst = [||];
+    fl_size = [||];
+    fl_stage = [||];
+    fl_label = [||];
+    fl_sent_at = [||];
+    fl_deadline = [||];
+    fl_next = [||];
+    fl_len = 0;
+    fl_free = -1;
+  }
+
 let create ~engine ~topology ~bits_per_sec () =
   let n = Topology.n topology in
+  let s = Engine.shard_count engine in
   let t =
     {
       engine;
       topology;
       nics = Array.init n (fun _ -> Nic.create ~bits_per_sec ());
-      stats = Stats.create ~n;
+      pools = Array.init s (fun _ -> fresh_pool ~n ());
+      outboxes = Array.init (s * s) (fun _ -> Queue.create ());
+      interned = [];
       fault = None;
       handler = None;
       trampoline = None;
-      fl_msg = [||];
-      fl_src = [||];
-      fl_dst = [||];
-      fl_size = [||];
-      fl_stage = [||];
-      fl_label = [||];
-      fl_sent_at = [||];
-      fl_deadline = [||];
-      fl_next = [||];
-      fl_len = 0;
-      fl_free = -1;
     }
   in
   t.trampoline <- Some (Engine.register_callback engine (fun fl -> trampoline t fl));
+  if s > 1 then Engine.set_round_hook engine (fun d -> drain t d);
   t
-
-let the_trampoline t =
-  match t.trampoline with Some cb -> cb | None -> assert false
 
 (* Internal send with sentinel-encoded optionals: [label] is an
    interned id or [Stats.no_label], [deadline] is NaN for none.  The
-   caller has validated the node ids. *)
+   caller has validated the node ids.  Executes on the sending node's
+   shard (or the main domain before the run starts). *)
 let send_msg t ~src ~dst ~size ~label ~deadline msg =
   let now = Engine.now t.engine in
+  let cur = Engine.current_shard t.engine in
+  let p = t.pools.(cur) in
+  let dst_shard = Engine.shard_of_node t.engine dst in
+  let post ~stage ~at =
+    if dst_shard = cur then begin
+      let fl = alloc_flight p msg in
+      p.fl_src.(fl) <- src;
+      p.fl_dst.(fl) <- dst;
+      p.fl_size.(fl) <- size;
+      p.fl_stage.(fl) <- stage;
+      p.fl_label.(fl) <- label;
+      p.fl_sent_at.(fl) <- now;
+      p.fl_deadline.(fl) <- deadline;
+      ignore (Engine.schedule_call t.engine ~owner:dst ~at (the_trampoline t) fl)
+    end
+    else
+      (* Another shard's node: allocate the tie-break key here, where
+         it is sharding-invariant, and let the destination shard
+         schedule the event when it drains its mailbox. *)
+      Queue.push
+        {
+          m_msg = msg;
+          m_src = src;
+          m_dst = dst;
+          m_size = size;
+          m_stage = stage;
+          m_label = label;
+          m_sent_at = now;
+          m_deadline = deadline;
+          m_arrival = at;
+          m_key = Engine.alloc_key t.engine;
+        }
+        t.outboxes.((cur * shards t) + dst_shard)
+  in
   if (match t.fault with Some fa -> Fault.crashed fa ~node:src ~now | None -> false)
   then
     (* A down node transmits nothing: no bytes charged, the message
        simply never existed on the wire. *)
-    Stats.record_drop t.stats ~node:dst ~label
-  else if src = dst then begin
+    Stats.record_drop p.p_stats ~node:dst ~label
+  else if src = dst then
     (* Local delivery: no bandwidth cost, but still asynchronous so
        handlers never reenter the caller. *)
-    let fl = alloc_flight t msg in
-    t.fl_src.(fl) <- src;
-    t.fl_dst.(fl) <- dst;
-    t.fl_stage.(fl) <- stage_self;
-    t.fl_label.(fl) <- label;
-    ignore (Engine.schedule_call t.engine ~at:now (the_trampoline t) fl)
-  end
+    post ~stage:stage_self ~at:now
   else begin
-    Stats.record_send t.stats ~node:src ~bytes:size ~label;
-    (* Link-fault verdict at send time: RNG draws happen in send order,
-       which the engine makes deterministic. *)
+    Stats.record_send p.p_stats ~node:src ~bytes:size ~label;
+    (* Link-fault verdict at send time: the injector's draws are keyed
+       per (src, dst, message number), so the verdict depends only on
+       the sender's program order — deterministic at any shard count. *)
     let decision =
       match t.fault with
       | None -> Fault.pass
@@ -221,26 +351,20 @@ let send_msg t ~src ~dst ~size ~label ~deadline msg =
     in
     let egress_done = Nic.reserve t.nics.(src) ~now ~bytes:size in
     if Simtime.is_infinite egress_done then
-      Stats.record_drop t.stats ~node:dst ~label
+      Stats.record_drop p.p_stats ~node:dst ~label
     else if decision.Fault.drop then
       (* Lost in the network after transmission: egress was charged,
          no arrival is scheduled. *)
-      Stats.record_drop t.stats ~node:dst ~label
+      Stats.record_drop p.p_stats ~node:dst ~label
     else begin
       let arrival =
         Simtime.add egress_done (Topology.latency t.topology ~src ~dst)
         +. decision.Fault.extra_delay
       in
-      let fl = alloc_flight t msg in
-      t.fl_src.(fl) <- src;
-      t.fl_dst.(fl) <- dst;
-      t.fl_size.(fl) <- size;
-      t.fl_stage.(fl) <-
-        (stage_arrival lor if decision.Fault.duplicate then flag_duplicate else 0);
-      t.fl_label.(fl) <- label;
-      t.fl_sent_at.(fl) <- now;
-      t.fl_deadline.(fl) <- deadline;
-      ignore (Engine.schedule_call t.engine ~at:arrival (the_trampoline t) fl)
+      let stage =
+        stage_arrival lor if decision.Fault.duplicate then flag_duplicate else 0
+      in
+      post ~stage ~at:arrival
     end
   end
 

@@ -27,11 +27,28 @@ val create :
   unit ->
   'm t
 (** All NICs start at the given uniform rate; per-node adjustments go
-    through {!nic}. *)
+    through {!nic}.  The network sizes itself to the engine's shard
+    count: one flight pool and one {!Stats} instance per shard, plus
+    the cross-shard mailboxes and the engine round hook that drains
+    them (one network per sharded engine). *)
 
 val n : 'm t -> int
 val engine : 'm t -> Engine.t
+val shards : 'm t -> int
+
 val stats : 'm t -> Stats.t
+(** Traffic statistics.  On a single-shard engine this is the live
+    (and only) instance, valid before, during and after the run.  On a
+    sharded engine it is a merged snapshot of the per-shard instances
+    — take it after {!Engine.run} returns; counters are sums, so the
+    snapshot is identical to what a single-shard run records. *)
+
+val intern : 'm t -> string -> Stats.label
+(** Intern a label on every shard's statistics, returning the shared
+    dense id (the same on all shards, so it can ride a cross-shard
+    message).  Call at setup, before the run; prefer this over
+    [Stats.intern (Net.stats net)], which on a sharded network would
+    intern into a throwaway snapshot. *)
 
 val nic : 'm t -> int -> Nic.t
 (** The node's shared NIC. *)

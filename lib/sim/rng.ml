@@ -7,19 +7,23 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create seed = { state = seed }
 
-let of_string_seed s =
+let seed_of_string s =
   let raw = Crypto.Sha256.digest_string s in
   let byte i = Int64.of_int (Char.code raw.[i]) in
   let seed = ref 0L in
   for i = 0 to 7 do
     seed := Int64.logor (Int64.shift_left !seed 8) (byte i)
   done;
-  create !seed
+  !seed
+
+let of_string_seed s = create (seed_of_string s)
 
 let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mix64 = mix
 
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -12,6 +12,16 @@ val create : int64 -> t
 val of_string_seed : string -> t
 (** [of_string_seed s] derives a seed by hashing [s]. *)
 
+val seed_of_string : string -> int64
+(** The raw 64-bit seed [of_string_seed] derives (the first 8 bytes of
+    SHA-256 of [s]), for callers that key sub-streams off it. *)
+
+val mix64 : int64 -> int64
+(** SplitMix64's finalizer: a strong 64-bit bijective mixer.  Chaining
+    [mix64 (base + of_int k)] derives well-separated stream seeds from
+    a base seed and small integer keys — the fault injector keys its
+    per-message streams this way. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -128,6 +128,24 @@ let dropped_labels t =
   done;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
+let merge_into ~into src =
+  if n into <> n src then invalid_arg "Stats.merge_into: node-count mismatch";
+  for node = 0 to n into - 1 do
+    into.bytes_sent.(node) <- into.bytes_sent.(node) + src.bytes_sent.(node);
+    into.bytes_received.(node) <- into.bytes_received.(node) + src.bytes_received.(node);
+    into.messages_sent.(node) <- into.messages_sent.(node) + src.messages_sent.(node);
+    into.dropped_at.(node) <- into.dropped_at.(node) + src.dropped_at.(node)
+  done;
+  into.dropped <- into.dropped + src.dropped;
+  (* Labels merge by name, so the two sides' intern orders need not
+     match; [into] interns any label it has not seen. *)
+  for id = 0 to src.n_labels - 1 do
+    let tid = intern into src.label_names.(id) in
+    into.label_counts.(tid) <- into.label_counts.(tid) + src.label_counts.(id);
+    into.label_drops.(tid) <- into.label_drops.(tid) + src.label_drops.(id);
+    if src.label_used.(id) then into.label_used.(tid) <- true
+  done
+
 let reset t =
   Array.fill t.bytes_sent 0 (n t) 0;
   Array.fill t.bytes_received 0 (n t) 0;

@@ -69,5 +69,14 @@ val dropped_labels : t -> (string * int) list
 (** Labels with at least one dropped message since the last reset,
     with their drop counts, sorted by label. *)
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] adds every counter of [src] into [into]:
+    per-node arrays, the drop total, and per-label counts/drops/used
+    flags, matching labels by name (interning into [into] as needed).
+    The sharded engine merges per-shard instances this way at run end;
+    merging shards that partition the traffic equals recording it all
+    on one instance.  Raises [Invalid_argument] if the node counts
+    differ.  [src] is not modified. *)
+
 val reset : t -> unit
 (** Clear every counter.  Interned ids remain valid. *)

@@ -2,16 +2,36 @@ type level = Notice | Info | Warn
 
 type record = { time : Simtime.t; node : int option; level : level; text : string }
 
-type t = { mutable records : record list (* newest first *) }
+(* One list per engine shard (lane), each newest-first, so domains
+   never contend on a shared cons cell.  [records] merges lanes with a
+   stable sort on (time, node): a node only ever logs from its own
+   shard, so records sharing a (time, node) key sit in one lane and
+   stability preserves their emission order — the merged view is
+   identical whatever the shard count, including 1. *)
+type t = { lanes : record list array }
 
-let create () = { records = [] }
+let create ?(lanes = 1) () = { lanes = Array.make (max 1 lanes) [] }
 
-let log t ~time ?node level text = t.records <- { time; node; level; text } :: t.records
+let log t ~time ?node level text =
+  let d = Domain_ctx.current () in
+  let d = if d < Array.length t.lanes then d else 0 in
+  t.lanes.(d) <- { time; node; level; text } :: t.lanes.(d)
 
 let logf t ~time ?node level fmt =
   Format.kasprintf (fun text -> log t ~time ?node level text) fmt
 
-let records t = List.rev t.records
+let node_key r = match r.node with None -> -1 | Some id -> id
+
+let records t =
+  (* [rev_append lane acc] un-reverses the newest-first lane, so [all]
+     is lane 0 oldest-first, then lane 1, ... *)
+  let all = Array.fold_right (fun lane acc -> List.rev_append lane acc) t.lanes [] in
+  List.stable_sort
+    (fun a b ->
+      match Float.compare a.time b.time with
+      | 0 -> Int.compare (node_key a) (node_key b)
+      | c -> c)
+    all
 
 let for_node t node =
   List.filter (fun r -> r.node = Some node) (records t)
@@ -25,4 +45,4 @@ let dump ?node t =
   let rs = match node with None -> records t | Some id -> for_node t id in
   String.concat "\n" (List.map render rs)
 
-let clear t = t.records <- []
+let clear t = Array.fill t.lanes 0 (Array.length t.lanes) []

@@ -15,7 +15,10 @@ type record = {
 
 type t
 
-val create : unit -> t
+val create : ?lanes:int -> unit -> t
+(** [create ~lanes:s ()] sizes the trace for an [s]-shard engine: each
+    domain appends to its own lane (routed by {!Domain_ctx}), so
+    logging never contends across domains.  Default one lane. *)
 
 val log : t -> time:Simtime.t -> ?node:int -> level -> string -> unit
 
@@ -23,7 +26,10 @@ val logf :
   t -> time:Simtime.t -> ?node:int -> level -> ('a, Format.formatter, unit, unit) format4 -> 'a
 
 val records : t -> record list
-(** All records, oldest first. *)
+(** All records, merged across lanes by a stable (time, node) sort.
+    Since a node logs only from its own shard, records with equal
+    (time, node) keep their emission order, and the merged view is
+    identical at every shard count. *)
 
 val for_node : t -> int -> record list
 (** Records emitted by one node, oldest first. *)

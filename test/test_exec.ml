@@ -22,6 +22,7 @@ let test_spec_digest_stability () =
       { R.Spec.default with R.Spec.n_relays = 1001 };
       { R.Spec.default with R.Spec.bandwidth_bits_per_sec = 10e6 };
       { R.Spec.default with R.Spec.horizon = 3600. };
+      { R.Spec.default with R.Spec.shards = 4 };
       { R.Spec.default with R.Spec.attacks = Attack.Ddos.knockout ~n:9 () };
       { R.Spec.default with R.Spec.behaviors = Some (Array.make 9 R.Silent) };
       {

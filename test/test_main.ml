@@ -9,6 +9,7 @@ let () =
       ("protocols", Test_protocols.suite);
       ("core", Test_core.suite);
       ("exec", Test_exec.suite);
+      ("shards", Test_shards.suite);
       ("client", Test_client.suite);
       ("attack", Test_attack.suite);
     ]

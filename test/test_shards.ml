@@ -1,0 +1,350 @@
+(* Multi-domain sharding: engine clamping and partitioning, the
+   conservative-lookahead building blocks (keyed queue pops, topology
+   lookahead bound, statistics merging), and the headline invariant —
+   a sharded run is bit-identical to the single-domain run, for clean
+   specs and across seeded chaos plans. *)
+
+open Tor_sim
+module R = Protocols.Runenv
+module E = Torpartial.Experiments
+
+(* --- Topology.min_latency ------------------------------------------------ *)
+
+let test_min_latency_uniform () =
+  let t = Topology.uniform ~n:5 ~latency:0.042 in
+  Alcotest.(check (float 1e-12)) "uniform min" 0.042 (Topology.min_latency t);
+  (* Degenerate uniform: a zero lookahead means sharding is unsafe;
+     the bound must report it rather than hide it. *)
+  let z = Topology.uniform ~n:5 ~latency:0. in
+  Alcotest.(check (float 0.)) "zero-latency min" 0. (Topology.min_latency z)
+
+let test_min_latency_single_node () =
+  let t = Topology.uniform ~n:1 ~latency:0.01 in
+  Alcotest.(check bool) "no links: never" true
+    (Simtime.is_infinite (Topology.min_latency t))
+
+let test_min_latency_matrix_and_realistic () =
+  let m =
+    Topology.of_matrix
+      [| [| 0.; 0.03; 0.2 |]; [| 0.03; 0.; 0.007 |]; [| 0.2; 0.007; 0. |] |]
+  in
+  Alcotest.(check (float 1e-12)) "matrix min off-diagonal" 0.007
+    (Topology.min_latency m);
+  let r = Topology.realistic ~n:9 ~rng:(Rng.of_string_seed "min-latency") in
+  let ml = Topology.min_latency r in
+  Alcotest.(check bool) "realistic min within clamp" true
+    (ml >= 0.005 && ml <= 0.150);
+  (* The bound really is a lower bound on every link. *)
+  for src = 0 to 8 do
+    for dst = 0 to 8 do
+      if src <> dst then
+        Alcotest.(check bool) "bounds every link" true
+          (Topology.latency r ~src ~dst >= ml)
+    done
+  done
+
+(* --- Stats.merge_into ---------------------------------------------------- *)
+
+let test_stats_merge_disjoint () =
+  (* Two shards recording disjoint labels must merge to exactly what
+     one instance records for the union of the traffic. *)
+  let one = Stats.create ~n:4 in
+  let a = Stats.create ~n:4 and b = Stats.create ~n:4 in
+  let va = Stats.intern a "vote" and fb = Stats.intern b "fetch" in
+  let vo = Stats.intern one "vote" and fo = Stats.intern one "fetch" in
+  Stats.record_send a ~node:0 ~bytes:100 ~label:va;
+  Stats.record_send one ~node:0 ~bytes:100 ~label:vo;
+  Stats.record_received a ~node:1 ~bytes:100;
+  Stats.record_received one ~node:1 ~bytes:100;
+  Stats.record_send b ~node:2 ~bytes:7 ~label:fb;
+  Stats.record_send one ~node:2 ~bytes:7 ~label:fo;
+  Stats.record_drop b ~node:3 ~label:fb;
+  Stats.record_drop one ~node:3 ~label:fo;
+  let m = Stats.create ~n:4 in
+  Stats.merge_into ~into:m a;
+  Stats.merge_into ~into:m b;
+  Alcotest.(check int) "total bytes" (Stats.total_bytes_sent one)
+    (Stats.total_bytes_sent m);
+  for node = 0 to 3 do
+    Alcotest.(check int) "bytes_sent" (Stats.bytes_sent one node) (Stats.bytes_sent m node);
+    Alcotest.(check int) "bytes_received" (Stats.bytes_received one node)
+      (Stats.bytes_received m node);
+    Alcotest.(check int) "messages_sent" (Stats.messages_sent one node)
+      (Stats.messages_sent m node);
+    Alcotest.(check int) "dropped_at" (Stats.dropped_at one node) (Stats.dropped_at m node)
+  done;
+  Alcotest.(check int) "dropped" (Stats.dropped one) (Stats.dropped m);
+  Alcotest.(check (list (pair string int))) "labels" (Stats.labels one) (Stats.labels m);
+  Alcotest.(check (list (pair string int))) "dropped labels" (Stats.dropped_labels one)
+    (Stats.dropped_labels m)
+
+let test_stats_merge_overlapping () =
+  (* The same label interned on both shards — possibly under different
+     dense ids — must merge by name, not by id. *)
+  let a = Stats.create ~n:2 and b = Stats.create ~n:2 in
+  let _ = Stats.intern a "only-a" in
+  let va = Stats.intern a "vote" in
+  let vb = Stats.intern b "vote" in
+  (* different dense ids on purpose *)
+  Stats.record_send a ~node:0 ~bytes:10 ~label:va;
+  Stats.record_send b ~node:1 ~bytes:32 ~label:vb;
+  Stats.record_drop b ~node:0 ~label:vb;
+  let m = Stats.create ~n:2 in
+  Stats.merge_into ~into:m a;
+  Stats.merge_into ~into:m b;
+  Alcotest.(check int) "vote bytes summed" 42 (Stats.label_bytes m "vote");
+  Alcotest.(check int) "vote drops" 1 (Stats.label_dropped m "vote");
+  Alcotest.(check int) "unused label invisible" 0 (Stats.label_bytes m "only-a");
+  Alcotest.(check (list (pair string int))) "labels by name" [ ("vote", 42) ]
+    (Stats.labels m);
+  Alcotest.(check
+              (list (pair string int)))
+    "dropped labels by name"
+    [ ("vote", 1) ]
+    (Stats.dropped_labels m)
+
+let test_stats_merge_size_mismatch () =
+  let a = Stats.create ~n:2 and b = Stats.create ~n:3 in
+  Alcotest.check_raises "node counts must match"
+    (Invalid_argument "Stats.merge_into: node-count mismatch") (fun () ->
+      Stats.merge_into ~into:a b)
+
+(* --- Event_queue: keyed pushes and two-bound pops ------------------------ *)
+
+let test_queue_push_keyed_order () =
+  let q = Event_queue.create () in
+  (* Equal times pop in key order, independent of push order. *)
+  Event_queue.push_keyed q ~time:1. ~key:30 "c";
+  Event_queue.push_keyed q ~time:1. ~key:10 "a";
+  Event_queue.push_keyed q ~time:0.5 ~key:99 "first";
+  Event_queue.push_keyed q ~time:1. ~key:20 "b";
+  let popped = List.init 4 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "key order at equal times"
+    [ "first"; "a"; "b"; "c" ] popped
+
+let test_queue_pop_if_within () =
+  let q = Event_queue.create () in
+  Event_queue.push_keyed q ~time:1. ~key:0 "a";
+  (* Head at the strict bound stays queued... *)
+  Alcotest.(check string) "strict bound excludes" "none"
+    (Event_queue.pop_if_within q ~strict:1. ~le:10. ~default:"none");
+  (* ...but below the strict bound and at the inclusive cap it pops. *)
+  Alcotest.(check string) "le bound includes" "a"
+    (Event_queue.pop_if_within q ~strict:2. ~le:1. ~default:"none");
+  Event_queue.push_keyed q ~time:3. ~key:0 "b";
+  Alcotest.(check string) "beyond le stays" "none"
+    (Event_queue.pop_if_within q ~strict:10. ~le:2.9 ~default:"none");
+  Alcotest.(check string) "within both pops" "b"
+    (Event_queue.pop_if_within q ~strict:3.5 ~le:3. ~default:"none");
+  Alcotest.(check string) "empty queue" "none"
+    (Event_queue.pop_if_within q ~strict:10. ~le:10. ~default:"none")
+
+(* --- Engine sharding ----------------------------------------------------- *)
+
+let test_engine_shard_clamping () =
+  let count ?shards ?nodes ?lookahead () =
+    Engine.shard_count (Engine.create ?shards ?nodes ?lookahead ())
+  in
+  Alcotest.(check int) "default single" 1 (count ());
+  Alcotest.(check int) "explicit single" 1 (count ~shards:1 ~nodes:8 ~lookahead:0.005 ());
+  Alcotest.(check int) "two shards" 2 (count ~shards:2 ~nodes:8 ~lookahead:0.005 ());
+  Alcotest.(check int) "capped at nodes" 8 (count ~shards:50 ~nodes:8 ~lookahead:0.005 ());
+  Alcotest.(check int) "one node" 1 (count ~shards:4 ~nodes:1 ~lookahead:0.005 ());
+  Alcotest.(check int) "zero lookahead" 1 (count ~shards:4 ~nodes:8 ~lookahead:0. ());
+  Alcotest.(check int) "unbounded lookahead" 1
+    (count ~shards:4 ~nodes:8 ~lookahead:Simtime.never ());
+  Alcotest.check_raises "negative shards"
+    (Invalid_argument "Engine.create: shards must be >= 1") (fun () ->
+      ignore (Engine.create ~shards:0 ~nodes:8 ~lookahead:0.005 ()))
+
+let test_engine_shard_partition () =
+  let e = Engine.create ~shards:4 ~nodes:9 ~lookahead:0.005 () in
+  Alcotest.(check int) "ownerless on shard 0" 0 (Engine.shard_of_node e (-1));
+  (* Contiguous blocks covering all nodes, each shard non-empty. *)
+  let seen = Array.make 4 0 in
+  let prev = ref 0 in
+  for node = 0 to 8 do
+    let s = Engine.shard_of_node e node in
+    Alcotest.(check bool) "monotone" true (s >= !prev);
+    prev := s;
+    seen.(s) <- seen.(s) + 1
+  done;
+  Array.iteri
+    (fun s c -> Alcotest.(check bool) (Printf.sprintf "shard %d non-empty" s) true (c > 0))
+    seen
+
+let test_engine_multi_domain_run () =
+  (* Two shards, events on both sides, no cross-shard traffic: all
+     events run, in time order per shard, and the clock ends aligned. *)
+  let e = Engine.create ~shards:2 ~nodes:4 ~lookahead:0.01 () in
+  let log = Array.make 2 [] in
+  for node = 0 to 3 do
+    for k = 0 to 4 do
+      let at = (0.1 *. float_of_int k) +. (0.01 *. float_of_int node) in
+      ignore
+        (Engine.schedule e ~owner:node ~at (fun () ->
+             let d = Engine.current_shard e in
+             log.(d) <- (node, at) :: log.(d)))
+    done
+  done;
+  Engine.run e;
+  let all = List.concat [ log.(0); log.(1) ] in
+  Alcotest.(check int) "all events ran" 20 (List.length all);
+  Array.iter
+    (fun lane ->
+      let times = List.rev_map snd lane in
+      Alcotest.(check bool) "per-shard time order" true
+        (List.sort compare times = times))
+    log;
+  Alcotest.(check (float 1e-9)) "clock at last event" 0.43 (Engine.now e);
+  Alcotest.(check int) "queue drained" 0 (Engine.pending e)
+
+let test_engine_cross_shard_schedule_raises () =
+  let e = Engine.create ~shards:2 ~nodes:4 ~lookahead:0.01 () in
+  let raised = ref false in
+  ignore
+    (Engine.schedule e ~owner:0 ~at:0.1 (fun () ->
+         (* Node 0 lives on shard 0; node 3 on shard 1.  Direct
+            scheduling into another shard's queue mid-run is the data
+            race the mailboxes exist to prevent. *)
+         match Engine.schedule e ~owner:3 ~at:0.2 (fun () -> ()) with
+         | _ -> ()
+         | exception Invalid_argument _ -> raised := true));
+  Engine.run e;
+  Alcotest.(check bool) "cross-shard schedule rejected" true !raised
+
+(* --- Sharded protocol runs are bit-identical ----------------------------- *)
+
+(* Everything observable about a run: the verdicts, traffic totals,
+   per-label accounting, each authority's document digest / signature
+   count / decision times, and the full merged trace.  Structural
+   equality on [report] itself would compare hash tables, so flatten
+   to a canonical summary first. *)
+let summary (r : R.report) =
+  let auth (a : R.authority_result) =
+    ( (match a.R.consensus with
+      | Some c -> Crypto.Digest32.hex (Dirdoc.Consensus.digest c)
+      | None -> "none"),
+      a.R.signatures,
+      a.R.decided_at,
+      a.R.network_time )
+  in
+  let stats = r.R.result.R.stats in
+  ( ( r.R.protocol,
+      r.R.success,
+      r.R.agreement,
+      r.R.success_latency,
+      r.R.decided_at_latest ),
+    (r.R.total_bytes, r.R.dropped, Stats.labels stats, Stats.dropped_labels stats),
+    Array.to_list (Array.map auth r.R.result.R.per_authority),
+    List.map Trace.render (Trace.records r.R.result.R.trace) )
+
+let run_with_shards spec protocol shards =
+  summary (E.run protocol (R.of_spec { spec with R.Spec.shards }))
+
+let check_shard_counts ~name spec protocol counts =
+  let base = run_with_shards spec protocol 1 in
+  List.iter
+    (fun s ->
+      let got = run_with_shards spec protocol s in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d shards == 1 shard" name s)
+        true (got = base))
+    counts
+
+let e2e_spec =
+  { R.Spec.default with R.Spec.n_relays = 400; horizon = 600. }
+
+let test_sharded_run_deterministic () =
+  check_shard_counts ~name:"ours" e2e_spec E.Ours [ 2; 4; 8 ]
+
+let test_sharded_run_deterministic_current () =
+  check_shard_counts ~name:"current" e2e_spec E.Current [ 2; 4 ]
+
+let test_sharded_run_deterministic_sync () =
+  check_shard_counts ~name:"synchronous" e2e_spec E.Synchronous [ 2; 4 ]
+
+let test_sharded_run_deterministic_attack () =
+  let spec =
+    {
+      R.Spec.default with
+      R.Spec.n_relays = 400;
+      horizon = 900.;
+      attacks = Attack.Ddos.bandwidth_attack ~n:9 ();
+    }
+  in
+  check_shard_counts ~name:"ours under flood" spec E.Ours [ 2; 4 ]
+
+let test_sharded_chaos_deterministic () =
+  (* The satellite gate: >= 20 seeded chaos fault plans — drops,
+     partitions, jitter, duplicates, crash windows, misbehaving
+     authorities — each bit-identical between 1 and 2 domains. *)
+  let config =
+    { Exec.Chaos.default_config with Exec.Chaos.n_relays = 120; horizon = 900. }
+  in
+  for index = 0 to 19 do
+    let spec = Exec.Chaos.sample_spec config ~index in
+    let base = run_with_shards spec E.Ours 1 in
+    let sharded = run_with_shards spec E.Ours 2 in
+    Alcotest.(check bool)
+      (Printf.sprintf "chaos plan %d: 2 shards == 1 shard" index)
+      true (sharded = base)
+  done
+
+let test_effective_shards () =
+  let env = R.of_spec { e2e_spec with R.Spec.shards = 4 } in
+  Alcotest.(check int) "requested honored" 4 (R.effective_shards env);
+  let env1 = R.of_spec e2e_spec in
+  Alcotest.(check int) "default single" 1 (R.effective_shards env1);
+  let many = R.of_spec { e2e_spec with R.Spec.shards = 64 } in
+  Alcotest.(check int) "capped at n" 9 (R.effective_shards many)
+
+(* --- Pool.clamp_shards --------------------------------------------------- *)
+
+let test_pool_clamp_shards () =
+  let rec_count = Exec.Pool.default_jobs () in
+  Alcotest.(check int) "jobs=1 passes through" 8
+    (Exec.Pool.clamp_shards ~jobs:1 ~shards:8);
+  Alcotest.(check int) "within budget" (max 1 (min 2 (rec_count / 2)))
+    (Exec.Pool.clamp_shards ~jobs:2 ~shards:2);
+  Alcotest.(check int) "oversubscription floored at 1" 1
+    (Exec.Pool.clamp_shards ~jobs:(2 * rec_count) ~shards:8);
+  Alcotest.check_raises "jobs >= 1"
+    (Invalid_argument "Pool.clamp_shards: jobs must be >= 1") (fun () ->
+      ignore (Exec.Pool.clamp_shards ~jobs:0 ~shards:2));
+  Alcotest.check_raises "shards >= 1"
+    (Invalid_argument "Pool.clamp_shards: shards must be >= 1") (fun () ->
+      ignore (Exec.Pool.clamp_shards ~jobs:2 ~shards:0))
+
+let suite =
+  [
+    ("topology min latency: uniform", `Quick, test_min_latency_uniform);
+    ("topology min latency: single node", `Quick, test_min_latency_single_node);
+    ( "topology min latency: matrix + realistic",
+      `Quick,
+      test_min_latency_matrix_and_realistic );
+    ("stats merge: disjoint labels", `Quick, test_stats_merge_disjoint);
+    ("stats merge: overlapping labels", `Quick, test_stats_merge_overlapping);
+    ("stats merge: size mismatch", `Quick, test_stats_merge_size_mismatch);
+    ("event queue: keyed push order", `Quick, test_queue_push_keyed_order);
+    ("event queue: two-bound pop", `Quick, test_queue_pop_if_within);
+    ("engine: shard clamping", `Quick, test_engine_shard_clamping);
+    ("engine: shard partition", `Quick, test_engine_shard_partition);
+    ("engine: multi-domain run", `Quick, test_engine_multi_domain_run);
+    ( "engine: cross-shard schedule raises",
+      `Quick,
+      test_engine_cross_shard_schedule_raises );
+    ("runenv: effective shards", `Quick, test_effective_shards);
+    ("pool: clamp shards", `Quick, test_pool_clamp_shards);
+    ("sharded run bit-identical (ours)", `Quick, test_sharded_run_deterministic);
+    ( "sharded run bit-identical (current)",
+      `Quick,
+      test_sharded_run_deterministic_current );
+    ( "sharded run bit-identical (synchronous)",
+      `Quick,
+      test_sharded_run_deterministic_sync );
+    ( "sharded run bit-identical under flood",
+      `Quick,
+      test_sharded_run_deterministic_attack );
+    ("sharded chaos plans bit-identical", `Slow, test_sharded_chaos_deterministic);
+  ]
