@@ -22,11 +22,23 @@ let json_path : string option ref = ref None
 (* Bechamel time quota per micro test, in seconds. *)
 let quota = ref 0.5
 
+(* Provenance stamped into the JSON [meta] section.  Passed in from the
+   outside ([--meta-commit]/[--meta-date]) so the bench binary itself
+   stays free of subprocess spawns and wall-clock reads. *)
+let meta_commit = ref "unknown"
+let meta_date = ref "unknown"
+
+(* One JSON value type for every report section, so integer sections
+   (dropped-message counts) and float sections flow through the same
+   emitter instead of each ref carrying its own formatting. *)
+type jv = I of int | F of float | S of string
+
 (* Results accumulated for the JSON report. *)
 let micro_results : (string * float) list ref = ref []    (* ns/run *)
 let macro_results : (string * float) list ref = ref []    (* wall s *)
 let alloc_results : (string * float) list ref = ref []    (* MB allocated per run *)
 let drop_results : (string * int) list ref = ref []       (* messages dropped *)
+let obs_results : (string * jv) list ref = ref []         (* telemetry pass *)
 let dist_wall : (string * float) list ref = ref []        (* wall s *)
 let dist_metrics : (string * float) list ref = ref []     (* simulated metrics *)
 let target_times : (string * float) list ref = ref []     (* wall s *)
@@ -381,6 +393,7 @@ let macro () =
   macro_results := [];
   alloc_results := [];
   drop_results := [];
+  obs_results := [];
   let spec seed n_relays = { Protocols.Runenv.Spec.default with seed; n_relays } in
   (* Figure 10's largest completing configuration. *)
   macro_run "e2e-ours-8k-relays" ~protocol:E.Ours
@@ -410,6 +423,69 @@ let macro () =
       macro_run "e2e-ours-32k-relays" ~protocol:E.Ours
         ~env:
           (Protocols.Runenv.of_spec { (spec "macro-bench" 32_000) with shards }))
+    [ 1; 2; 4; 8 ];
+  (* Telemetry pass over the same scaling curve, deliberately separate
+     from the timed runs above so the committed macro numbers stay
+     telemetry-free (the 2x regression gate is the zero-cost-when-off
+     proof).  This pass reports where each shard's wall time goes —
+     busy executing events vs waiting at the round barrier — plus the
+     delivery-latency percentiles from the sequential run. *)
+  Printf.printf "\ntelemetry pass (untimed): per-shard busy vs barrier wait\n";
+  List.iter
+    (fun shards ->
+      let env =
+        Protocols.Runenv.of_spec { (spec "macro-bench" 32_000) with shards }
+      in
+      let env = { env with Protocols.Runenv.telemetry = true } in
+      let name =
+        Printf.sprintf "e2e-ours-32k-relays@%dd"
+          (Protocols.Runenv.effective_shards env)
+      in
+      let report = E.run E.Ours env in
+      match Protocols.Runenv.report_obs report with
+      | None -> ()
+      | Some o ->
+          List.iter
+            (fun (s : Obs.Profiler.shard) ->
+              let total = s.Obs.Profiler.busy_s +. s.Obs.Profiler.wait_s in
+              Printf.printf
+                "%-28s shard %d: busy %7.3f s  wait %7.3f s  (%4.1f%% busy)\n"
+                name s.Obs.Profiler.shard s.Obs.Profiler.busy_s
+                s.Obs.Profiler.wait_s
+                (if total > 0. then 100. *. s.Obs.Profiler.busy_s /. total
+                 else 100.);
+              obs_results :=
+                !obs_results
+                @ [
+                    ( Printf.sprintf "%s/shard%d-busy_s" name s.Obs.Profiler.shard,
+                      F s.Obs.Profiler.busy_s );
+                    ( Printf.sprintf "%s/shard%d-wait_s" name s.Obs.Profiler.shard,
+                      F s.Obs.Profiler.wait_s );
+                  ])
+            o.Protocols.Runenv.profile;
+          if shards = 1 then begin
+            let quantiles key = function
+              | None -> ()
+              | Some h when Obs.Metrics.count h = 0 -> ()
+              | Some h ->
+                  obs_results :=
+                    !obs_results
+                    @ [
+                        (key ^ "-n", I (Obs.Metrics.count h));
+                        (key ^ "-p50_s", F (Obs.Metrics.percentile h 0.5));
+                        (key ^ "-p99_s", F (Obs.Metrics.percentile h 0.99));
+                      ]
+            in
+            quantiles
+              (name ^ "/time-to-decision")
+              (Protocols.Runenv.time_to_decision report);
+            List.iter
+              (fun label ->
+                quantiles
+                  (name ^ "/delivery-" ^ label)
+                  (Protocols.Runenv.delivery_latency report label))
+              [ "proposal"; "agreement"; "document"; "cons-sig" ]
+          end)
     [ 1; 2; 4; 8 ]
 
 (* --- distribution macro bench ---------------------------------------------- *)
@@ -471,7 +547,15 @@ let dist () =
 (* --- JSON report ----------------------------------------------------------- *)
 
 (* Hand-rolled emitter: the names are plain ASCII identifiers, so
-   OCaml's [%S] escaping is valid JSON for them. *)
+   OCaml's [%S] escaping is valid JSON for them.  Every section goes
+   through the same {!jv} renderer — integers as integers, floats at a
+   fixed precision, strings escaped — instead of each section hand-
+   formatting its own values. *)
+let jv_to_string = function
+  | I n -> string_of_int n
+  | F x -> Printf.sprintf "%.6f" x
+  | S s -> Printf.sprintf "%S" s
+
 let emit_json path =
   let buf = Buffer.create 1024 in
   let section name entries ~last =
@@ -479,23 +563,30 @@ let emit_json path =
     List.iteri
       (fun i (key, value) ->
         if i > 0 then Buffer.add_char buf ',';
-        Buffer.add_string buf (Printf.sprintf "\n    %S: %s" key value))
+        Buffer.add_string buf (Printf.sprintf "\n    %S: %s" key (jv_to_string value)))
       entries;
     if entries <> [] then Buffer.add_string buf "\n  ";
     Buffer.add_string buf (if last then "}\n" else "},\n")
   in
-  Buffer.add_string buf "{\n  \"schema\": \"torda-bench/1\",\n";
-  let ns (k, v) = (k, Printf.sprintf "%.1f" v) in
-  let secs (k, v) = (k, Printf.sprintf "%.6f" v) in
-  section "micro_ns_per_run" (List.map ns !micro_results) ~last:false;
-  section "macro_wall_s" (List.map secs !macro_results) ~last:false;
-  section "alloc_mb_per_run" (List.map secs !alloc_results) ~last:false;
-  section "macro_dropped_msgs"
-    (List.map (fun (k, v) -> (k, string_of_int v)) !drop_results)
+  let floats l = List.map (fun (k, v) -> (k, F v)) l in
+  let ints l = List.map (fun (k, v) -> (k, I v)) l in
+  Buffer.add_string buf "{\n  \"schema\": \"torda-bench/2\",\n";
+  section "meta"
+    [
+      ("commit", S !meta_commit);
+      ("date", S !meta_date);
+      ("ocaml", S Sys.ocaml_version);
+      ("cores", I (Domain.recommended_domain_count ()));
+    ]
     ~last:false;
-  section "dist_wall_s" (List.map secs !dist_wall) ~last:false;
-  section "dist_metrics" (List.map secs !dist_metrics) ~last:false;
-  section "target_wall_s" (List.map secs (List.rev !target_times)) ~last:true;
+  section "micro_ns_per_run" (floats !micro_results) ~last:false;
+  section "macro_wall_s" (floats !macro_results) ~last:false;
+  section "alloc_mb_per_run" (floats !alloc_results) ~last:false;
+  section "macro_dropped_msgs" (ints !drop_results) ~last:false;
+  section "obs_profile" !obs_results ~last:false;
+  section "dist_wall_s" (floats !dist_wall) ~last:false;
+  section "dist_metrics" (floats !dist_metrics) ~last:false;
+  section "target_wall_s" (floats (List.rev !target_times)) ~last:true;
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   Buffer.output_buffer oc buf;
@@ -541,6 +632,18 @@ let rec parse_args = function
       parse_args rest
   | "--json" :: [] ->
       prerr_endline "--json requires a path";
+      exit 1
+  | "--meta-commit" :: v :: rest ->
+      meta_commit := v;
+      parse_args rest
+  | "--meta-commit" :: [] ->
+      prerr_endline "--meta-commit requires a value";
+      exit 1
+  | "--meta-date" :: v :: rest ->
+      meta_date := v;
+      parse_args rest
+  | "--meta-date" :: [] ->
+      prerr_endline "--meta-date requires a value";
       exit 1
   | "--quota" :: s :: rest -> (
       match float_of_string_opt s with

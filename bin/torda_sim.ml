@@ -120,9 +120,66 @@ let print_distribution (o : Torclient.Distribution.outcome) =
 
 (* --- run ------------------------------------------------------------------- *)
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the run — protocol-phase \
+           spans (one track per authority, sim-time timestamps) plus periodic \
+           NIC-backlog and event-queue-depth counter tracks.  Open it at \
+           $(b,https://ui.perfetto.dev) or $(b,chrome://tracing).  Implies \
+           telemetry.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the run's latency histograms (time-to-decision and per-label \
+           delivery latency: count, p50, p99, max) and the per-shard engine \
+           profile.  Implies telemetry.")
+
+let print_metrics (o : R.obs) =
+  print_endline "metrics:";
+  List.iter
+    (fun (name, h) ->
+      if Obs.Metrics.count h = 0 then
+        Printf.printf "  %-40s n=0\n" name
+      else
+        Printf.printf "  %-40s n=%-6d p50=%8.4fs p99=%8.4fs max=%8.4fs\n" name
+          (Obs.Metrics.count h)
+          (Obs.Metrics.percentile h 0.5)
+          (Obs.Metrics.percentile h 0.99)
+          (Obs.Metrics.max_value h))
+    (Obs.Metrics.histograms o.R.metrics);
+  List.iter
+    (fun (s : Obs.Profiler.shard) ->
+      Printf.printf "  shard %d: busy %.3f s, wait %.3f s, %d round(s), %d event(s)\n"
+        s.Obs.Profiler.shard s.Obs.Profiler.busy_s s.Obs.Profiler.wait_s
+        s.Obs.Profiler.rounds s.Obs.Profiler.events)
+    o.R.profile
+
+let write_trace path (o : R.obs) =
+  let json =
+    Obs.Trace_event.to_string
+      ~node_name:(fun n -> Printf.sprintf "authority %d" n)
+      ~spans:o.R.spans ~samples:o.R.samples ()
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "trace:     %s (%d span(s), %d sample(s))\n" path
+    (List.length o.R.spans)
+    (List.length o.R.samples)
+
 let run_cmd =
-  let action protocol relays bandwidth seed attack shards =
+  let action protocol relays bandwidth seed attack shards trace metrics =
     let env = make_env ~shards ~seed ~relays ~bandwidth ~attack () in
+    let env =
+      if trace <> None || metrics then { env with R.telemetry = true } else env
+    in
     let report = E.run protocol env in
     Printf.printf "protocol:  %s\n" report.R.protocol;
     Printf.printf "relays:    %d\n" relays;
@@ -138,12 +195,17 @@ let run_cmd =
     List.iter
       (fun (label, count) -> Printf.printf "  %-14s %d\n" label count)
       (Tor_sim.Stats.dropped_labels report.R.result.R.stats);
+    (match R.report_obs report with
+    | None -> ()
+    | Some o ->
+        Option.iter (fun path -> write_trace path o) trace;
+        if metrics then print_metrics o);
     if report.R.success then 0 else 1
   in
   let term =
     Term.(
       const action $ protocol_arg $ relays_arg $ bandwidth_arg $ seed_arg
-      $ attack_arg $ shards_arg)
+      $ attack_arg $ shards_arg $ trace_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate one consensus instance of a directory protocol.")
@@ -240,7 +302,10 @@ let log_cmd =
   let action protocol relays bandwidth seed attack node =
     let env = make_env ~seed ~relays ~bandwidth ~attack () in
     let report = E.run protocol env in
-    print_endline (Tor_sim.Trace.dump ~node report.R.result.R.trace);
+    (* Stream the merged log one record at a time instead of
+       materializing the full merged list and a joined string. *)
+    Tor_sim.Trace.iter ~node report.R.result.R.trace (fun r ->
+        print_endline (Tor_sim.Trace.render r));
     0
   in
   let term =

@@ -92,6 +92,11 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
   let lbl_fetch_reply = Sim.Net.intern net "fetch-reply" in
   let lbl_cons_sig = Sim.Net.intern net "cons-sig" in
   let lbl_sig_request = Sim.Net.intern net "sig-request" in
+  (* Event-driven protocol, event-driven spans: phases open and close
+     at the actual transitions (first proposal sent, agreement decided,
+     consensus signed, signature majority reached), not on a fixed
+     round grid.  Every helper is a no-op when telemetry is off. *)
+  let tel = Runenv.Telemetry.start env ~engine ~net () in
   (* Authorities that hold identical vote sets share one aggregation;
      the memo is run-local, one per shard so domains never share a
      hash table (aggregation is pure — the memo only dedups work). *)
@@ -128,6 +133,9 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
   let send_proposal_if_ready node ~view =
     if dissemination_ready node && node.proposal_sent_view < view then begin
       node.proposal_sent_view <- view;
+      (* First proposal = enough documents collected; idempotent on the
+         re-proposals of later views. *)
+      Runenv.Telemetry.phase_end tel ~node:node.id "dissemination";
       let digests =
         Array.init n (fun j ->
             match (node.docs.(j), node.doc_sigs.(j)) with
@@ -191,6 +199,11 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
                 ~valid_after:env.valid_after ~votes
             in
             let signature = Siground.set_consensus node.sig_round ~now:(now ()) c in
+            Runenv.Telemetry.phase_end tel ~node:node.id "aggregation";
+            Runenv.Telemetry.phase_begin tel ~node:node.id "signature-exchange";
+            if Siground.decided_at node.sig_round <> None then
+              (* Own signature already suffices (tiny n). *)
+              Runenv.Telemetry.phase_end tel ~node:node.id "signature-exchange";
             log ~node:node.id Sim.Trace.Notice
               "Aggregated %d votes into a consensus document; broadcasting signature."
               (List.length votes);
@@ -266,6 +279,10 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
         proposal = (fun () -> Dissemination.Collector.build node.collector);
         decide =
           (fun ~view value ->
+            if node.decided_vector = None then begin
+              Runenv.Telemetry.phase_end tel ~node:node.id "agreement";
+              Runenv.Telemetry.phase_begin tel ~node:node.id "aggregation"
+            end;
             node.decided_vector <- Some value;
             node.decided_view <- Some view;
             log ~node:node.id Sim.Trace.Notice
@@ -308,7 +325,9 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
                 | _ -> ())
               wanted
         | Cons_sig { digest; signature } ->
-            Siground.store node.sig_round ~now:(now ()) ~digest signature
+            Siground.store node.sig_round ~now:(now ()) ~digest signature;
+            if Siground.decided_at node.sig_round <> None then
+              Runenv.Telemetry.phase_end tel ~node:dst "signature-exchange"
         | Cons_sig_request -> (
             match
               (Siground.consensus node.sig_round, Siground.my_signature node.sig_round)
@@ -320,6 +339,8 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
   (* --- start ------------------------------------------------------------- *)
   let start_node node =
     let id = node.id in
+    Runenv.Telemetry.phase_begin tel ~node:id "dissemination";
+    Runenv.Telemetry.phase_begin tel ~node:id "agreement";
     (match env.behaviors.(id) with
     | Runenv.Silent -> assert false (* never started; see below *)
     | Runenv.Honest | Runenv.Crashed _ ->
@@ -400,8 +421,9 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
         })
       nodes
   in
+  let obs = Runenv.Telemetry.finish tel ~engine ~net ~per_authority in
   let result =
-    { Runenv.protocol = name; per_authority; stats = Sim.Net.stats net; trace }
+    { Runenv.protocol = name; per_authority; stats = Sim.Net.stats net; trace; obs }
   in
   {
     result;

@@ -163,6 +163,7 @@ type verdict = {
   safety_ok : bool;
   liveness_applicable : bool;
   liveness_ok : bool;
+  stalled_phase : string option;
   shrunk : Runenv.Spec.t option;
 }
 
@@ -275,6 +276,21 @@ let verdict_of_case config ~votes ~run_protocol ~index =
         liveness_ok ) =
     judge config ~plan ~behaviors ours
   in
+  (* Diagnose a liveness failure: replay the same case with telemetry
+     on (telemetry never changes outcomes, so the replay reproduces the
+     failure exactly) and ask which phase the stuck authorities were
+     inside.  When every correct authority decided — just after the
+     bound — there is no incomplete span to blame. *)
+  let stalled_phase =
+    if liveness_ok then None
+    else begin
+      let env = { env with Runenv.telemetry = true } in
+      let r = run_protocol Job.Ours env in
+      match Runenv.stalled_phase env r with
+      | Some _ as phase -> phase
+      | None -> Some "decided-late"
+    end
+  in
   let shrunk =
     if safety_ok && liveness_ok then None
     else Some (shrink config ~votes ~run_protocol ~plan ~behaviors)
@@ -292,6 +308,7 @@ let verdict_of_case config ~votes ~run_protocol ~index =
     safety_ok;
     liveness_applicable;
     liveness_ok;
+    stalled_phase;
     shrunk;
   }
 
@@ -350,6 +367,9 @@ let pp_verdict ppf v =
     (mark (by_protocol Job.Ours))
     (status ~applicable:v.safety_applicable ~ok:v.safety_ok)
     (status ~applicable:v.liveness_applicable ~ok:v.liveness_ok);
+  (match v.stalled_phase with
+  | None -> ()
+  | Some phase -> Format.fprintf ppf "@,  stalled in: %s" phase);
   match v.shrunk with
   | None -> ()
   | Some spec ->

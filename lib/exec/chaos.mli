@@ -69,6 +69,11 @@ type verdict = {
   safety_ok : bool;                (** [true] when not applicable *)
   liveness_applicable : bool;
   liveness_ok : bool;              (** [true] when not applicable *)
+  stalled_phase : string option;
+      (** liveness failures only: the phase the stuck authorities were
+          inside, from a telemetry replay of the same case
+          ({!Protocols.Runenv.stalled_phase}); ["decided-late"] when
+          every correct authority decided but past the bound *)
   shrunk : Protocols.Runenv.Spec.t option;
       (** minimal failing spec, present iff an invariant failed *)
 }

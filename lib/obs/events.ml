@@ -1,0 +1,80 @@
+type span = {
+  node : int;
+  phase : string;
+  start : float;
+  stop : float;
+  complete : bool;
+}
+
+type sample = { node : int; track : string; time : float; value : float }
+
+type item = Span of span | Sample of sample
+
+(* Newest-first per lane; only the lane's own domain pushes, so no
+   synchronization is needed (domains join before the merge reads). *)
+type t = { lanes : item list array }
+
+let create ?(lanes = 1) () =
+  if lanes < 1 then invalid_arg "Events.create: lanes must be positive";
+  { lanes = Array.make lanes [] }
+
+let push t lane item =
+  if lane < 0 || lane >= Array.length t.lanes then
+    invalid_arg "Events: lane out of range";
+  t.lanes.(lane) <- item :: t.lanes.(lane)
+
+let span t ~lane ~node ~phase ~start ~stop ~complete =
+  push t lane (Span { node; phase; start; stop; complete })
+
+let sample t ~lane ~node ~track ~time ~value =
+  push t lane (Sample { node; track; time; value })
+
+(* Full-field comparators: the sort result must not depend on which
+   lane (or in what intra-lane order) an item was recorded, only on the
+   item itself.  Duplicates are kept — they compare equal and the sort
+   is a permutation either way. *)
+
+let compare_span (a : span) (b : span) =
+  match Float.compare a.start b.start with
+  | 0 -> (
+      match Int.compare a.node b.node with
+      | 0 -> (
+          match String.compare a.phase b.phase with
+          | 0 -> (
+              match Float.compare a.stop b.stop with
+              | 0 -> Bool.compare a.complete b.complete
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let compare_sample (a : sample) (b : sample) =
+  match Float.compare a.time b.time with
+  | 0 -> (
+      match Int.compare a.node b.node with
+      | 0 -> (
+          match String.compare a.track b.track with
+          | 0 -> Float.compare a.value b.value
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let spans t =
+  Array.fold_left
+    (fun acc lane ->
+      List.fold_left
+        (fun acc item ->
+          match item with Span s -> s :: acc | Sample _ -> acc)
+        acc lane)
+    [] t.lanes
+  |> List.sort compare_span
+
+let samples t =
+  Array.fold_left
+    (fun acc lane ->
+      List.fold_left
+        (fun acc item ->
+          match item with Sample s -> s :: acc | Span _ -> acc)
+        acc lane)
+    [] t.lanes
+  |> List.sort compare_sample

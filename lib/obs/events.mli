@@ -1,0 +1,51 @@
+(** Sim-time phase spans and counter samples, collected lane-sharded.
+
+    Each engine shard records into its own lane (no synchronization on
+    the hot path, same design as [Sim.Trace]); the merged accessors
+    sort with comparators over *every* field, so the merged streams are
+    identical whichever lane an item landed in.  That is what makes
+    span streams bit-identical across shard counts: a span emitted
+    mid-run on its node's shard and a span emitted post-run on lane 0
+    sort to the same place. *)
+
+type span = {
+  node : int;
+  phase : string;
+  start : float;  (** sim seconds *)
+  stop : float;
+  complete : bool;
+      (** [false] when the phase never finished — the run ended (or the
+          node stalled) with the phase still open. *)
+}
+
+type sample = {
+  node : int;
+  track : string;  (** counter name, e.g. ["nic-backlog"] *)
+  time : float;
+  value : float;
+}
+
+type t
+
+val create : ?lanes:int -> unit -> t
+(** [lanes] defaults to 1; pass the engine's shard count. *)
+
+val span :
+  t ->
+  lane:int ->
+  node:int ->
+  phase:string ->
+  start:float ->
+  stop:float ->
+  complete:bool ->
+  unit
+
+val sample :
+  t -> lane:int -> node:int -> track:string -> time:float -> value:float -> unit
+
+val spans : t -> span list
+(** All spans, sorted by (start, node, phase, stop, complete) —
+    independent of lane placement. *)
+
+val samples : t -> sample list
+(** All samples, sorted by (time, node, track, value). *)

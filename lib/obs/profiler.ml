@@ -1,0 +1,36 @@
+type t = {
+  busy : float array;
+  wait : float array;
+  rounds : int array;
+  events : int array;
+}
+
+let create ~shards =
+  if shards < 1 then invalid_arg "Profiler.create: shards must be positive";
+  { busy = Array.make shards 0.;
+    wait = Array.make shards 0.;
+    rounds = Array.make shards 0;
+    events = Array.make shards 0 }
+
+let now () = Unix.gettimeofday ()
+
+let add_busy t shard dt = t.busy.(shard) <- t.busy.(shard) +. dt
+let add_wait t shard dt = t.wait.(shard) <- t.wait.(shard) +. dt
+let add_events t shard n = t.events.(shard) <- t.events.(shard) + n
+let incr_rounds t shard = t.rounds.(shard) <- t.rounds.(shard) + 1
+
+type shard = {
+  shard : int;
+  busy_s : float;
+  wait_s : float;
+  rounds : int;
+  events : int;
+}
+
+let report t =
+  List.init (Array.length t.busy) (fun i ->
+      { shard = i;
+        busy_s = t.busy.(i);
+        wait_s = t.wait.(i);
+        rounds = t.rounds.(i);
+        events = t.events.(i) })

@@ -1,0 +1,35 @@
+(** Wall-clock engine profiler: per-shard busy vs barrier-wait time.
+
+    The sharded engine steps in barrier-synchronized rounds; whether a
+    scaling curve is flat because shards are compute-bound or because
+    they spend the round blocked on the barrier is invisible from sim
+    time.  This records, per shard, wall seconds spent dispatching
+    events ([busy]) and wall seconds inside [Barrier.wait] ([wait]),
+    plus round and event counts.
+
+    Each shard's domain writes only its own indices, and domains join
+    before {!report} reads, so plain arrays are safe. *)
+
+type t
+
+val create : shards:int -> t
+
+val now : unit -> float
+(** [Unix.gettimeofday], aliased so call sites don't depend on [Unix]
+    directly. *)
+
+val add_busy : t -> int -> float -> unit
+val add_wait : t -> int -> float -> unit
+val add_events : t -> int -> int -> unit
+val incr_rounds : t -> int -> unit
+
+type shard = {
+  shard : int;
+  busy_s : float;
+  wait_s : float;
+  rounds : int;
+  events : int;
+}
+
+val report : t -> shard list
+(** One entry per shard, in shard order. *)

@@ -1,0 +1,51 @@
+(* Hand-rolled like the bench JSON emitter: the format is flat and
+   fixed, and the repo takes no JSON dependency.  OCaml's [%S] escaping
+   is JSON-compatible for the ASCII identifiers used as phase and track
+   names. *)
+
+let us t = t *. 1e6
+
+let emit ?(node_name = fun n -> Printf.sprintf "node %d" n) ~spans ~samples
+    buf =
+  let first = ref true in
+  let event fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_string buf ",\n  ";
+        Buffer.add_string buf s)
+      fmt
+  in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ms\",\n \"traceEvents\": [\n  ";
+  event {|{"ph": "M", "name": "process_name", "pid": 0, "args": {"name": "torda-sim"}}|};
+  (* One named thread per node that appears in either stream. *)
+  let nodes = Hashtbl.create 64 in
+  let see node = if not (Hashtbl.mem nodes node) then Hashtbl.add nodes node () in
+  List.iter (fun (s : Events.span) -> see s.node) spans;
+  List.iter (fun (s : Events.sample) -> see s.node) samples;
+  Hashtbl.fold (fun node () acc -> node :: acc) nodes []
+  |> List.sort Int.compare
+  |> List.iter (fun node ->
+         event
+           {|{"ph": "M", "name": "thread_name", "pid": 0, "tid": %d, "args": {"name": %S}}|}
+           node (node_name node));
+  List.iter
+    (fun (s : Events.span) ->
+      event
+        {|{"ph": "X", "name": %S, "cat": "phase", "pid": 0, "tid": %d, "ts": %.3f, "dur": %.3f, "args": {"complete": %b}}|}
+        s.phase s.node (us s.start)
+        (us (Float.max 0. (s.stop -. s.start)))
+        s.complete)
+    spans;
+  List.iter
+    (fun (s : Events.sample) ->
+      event
+        {|{"ph": "C", "name": %S, "pid": 0, "tid": %d, "ts": %.3f, "args": {"value": %.6f}}|}
+        (Printf.sprintf "%s (node %d)" s.track s.node)
+        s.node (us s.time) s.value)
+    samples;
+  Buffer.add_string buf "\n]}\n"
+
+let to_string ?node_name ~spans ~samples () =
+  let buf = Buffer.create 4096 in
+  emit ?node_name ~spans ~samples buf;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Chrome trace-event JSON export, loadable in Perfetto
+    (https://ui.perfetto.dev) or chrome://tracing.
+
+    Phase spans become ["X"] (complete) events and counter samples
+    become ["C"] (counter) events, all under pid 0 with one thread per
+    node, so Perfetto renders one track per node with its phase bars
+    and a separate counter track per (track, node) pair.  Timestamps
+    are sim time converted to microseconds (the unit the format
+    mandates). *)
+
+val emit :
+  ?node_name:(int -> string) ->
+  spans:Events.span list ->
+  samples:Events.sample list ->
+  Buffer.t ->
+  unit
+(** Append one complete JSON document ([{"traceEvents": [...]}]).
+    [node_name] labels each node's track (default ["node N"]). *)
+
+val to_string :
+  ?node_name:(int -> string) ->
+  spans:Events.span list ->
+  samples:Events.sample list ->
+  unit ->
+  string

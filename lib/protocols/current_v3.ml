@@ -66,6 +66,8 @@ let run (env : Runenv.t) =
   let lbl_sig = Sim.Net.intern net "sig" in
   let lbl_sig_request = Sim.Net.intern net "sig-request" in
   let lbl_sig_fetch = Sim.Net.intern net "sig-fetch" in
+  let until_cap = Float.min env.horizon (4. *. round_seconds) in
+  let tel = Runenv.Telemetry.start env ~engine ~net ~stop:until_cap () in
   (* Hoisted so the hot send path does not rebuild the option. *)
   let dir_deadline = Some Wire.dir_connection_timeout in
   (* Authorities holding identical vote sets share one aggregation;
@@ -206,12 +208,12 @@ let run (env : Runenv.t) =
   Array.iter
     (fun node ->
       ignore
-        (Sim.Engine.schedule engine ~at:round_seconds (fun () ->
+        (Sim.Engine.schedule engine ~owner:node.id ~at:round_seconds (fun () ->
              fetch_missing node ~retry:false));
       let retries = int_of_float ((round_seconds -. retry_interval) /. retry_interval) in
       for k = 1 to retries do
         ignore
-          (Sim.Engine.schedule engine
+          (Sim.Engine.schedule engine ~owner:node.id
              ~at:(round_seconds +. (float_of_int k *. retry_interval))
              (fun () -> fetch_missing node ~retry:true))
       done)
@@ -220,7 +222,8 @@ let run (env : Runenv.t) =
   Array.iter
     (fun node ->
       ignore
-        (Sim.Engine.schedule engine ~at:(2. *. round_seconds) (fun () ->
+        (Sim.Engine.schedule engine ~owner:node.id ~at:(2. *. round_seconds)
+           (fun () ->
              if not (Runenv.awake env node.id ~now:(now ())) then ()
              else begin
                log ~node:node.id Sim.Trace.Notice "Time to compute a consensus.";
@@ -248,7 +251,8 @@ let run (env : Runenv.t) =
   Array.iter
     (fun node ->
       ignore
-        (Sim.Engine.schedule engine ~at:(3. *. round_seconds) (fun () ->
+        (Sim.Engine.schedule engine ~owner:node.id ~at:(3. *. round_seconds)
+           (fun () ->
              if Runenv.awake env node.id ~now:(now ())
                 && Siground.consensus node.sig_round <> None
                 && Siground.count node.sig_round < need
@@ -258,7 +262,43 @@ let run (env : Runenv.t) =
                    send ~src:node.id ~dst ~label:lbl_sig_request Sig_request
                done)))
     nodes;
-  Sim.Engine.run ~until:(Float.min env.horizon (4. *. round_seconds)) engine;
+  Sim.Engine.run ~until:until_cap engine;
+  (* Phase spans: the protocol is lock-step, so the spans are the
+     rounds themselves, emitted after the run from each node's final
+     state.  A phase a node never reached (no consensus, so no
+     signature collection) gets no span, which is what makes an
+     incomplete span a stall diagnosis. *)
+  let run_end = now () in
+  Array.iter
+    (fun node ->
+      if Runenv.participates env.behaviors.(node.id) then begin
+        let id = node.id in
+        let held =
+          Array.fold_left
+            (fun acc v -> if v = None then acc else acc + 1)
+            0 node.votes
+        in
+        let consensus = Siground.consensus node.sig_round in
+        let decided = Siground.decided_at node.sig_round in
+        Runenv.Telemetry.span tel ~node:id ~phase:"vote-dissemination"
+          ~start:0. ~stop:round_seconds;
+        Runenv.Telemetry.span tel ~node:id ~phase:"vote-collection"
+          ~start:round_seconds ~stop:(2. *. round_seconds)
+          ~complete:(held >= need);
+        if held >= need then
+          Runenv.Telemetry.span tel ~node:id ~phase:"aggregation"
+            ~start:(2. *. round_seconds) ~stop:(3. *. round_seconds)
+            ~complete:(consensus <> None);
+        if consensus <> None then
+          Runenv.Telemetry.span tel ~node:id ~phase:"signature-exchange"
+            ~start:(2. *. round_seconds)
+            ~stop:
+              (match decided with
+              | Some d -> Float.max d (2. *. round_seconds)
+              | None -> run_end)
+            ~complete:(decided <> None)
+      end)
+    nodes;
   let per_authority =
     Array.map
       (fun node ->
@@ -279,4 +319,5 @@ let run (env : Runenv.t) =
         })
       nodes
   in
-  { Runenv.protocol = name; per_authority; stats = Sim.Net.stats net; trace }
+  let obs = Runenv.Telemetry.finish tel ~engine ~net ~per_authority in
+  { Runenv.protocol = name; per_authority; stats = Sim.Net.stats net; trace; obs }

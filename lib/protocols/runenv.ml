@@ -26,6 +26,8 @@ type t = {
   distribution : Torclient.Distribution.config option;
   horizon : Sim.Simtime.t;
   shards : int;
+  telemetry : bool;
+      (* record spans/histograms/profile; NOT part of Spec (see mli) *)
 }
 
 let awake t id ~now =
@@ -192,6 +194,7 @@ let of_spec ?votes (spec : Spec.t) =
     distribution;
     horizon;
     shards;
+    telemetry = false;
   }
 
 (* The shard count the engine will actually run: sharding needs at
@@ -211,12 +214,115 @@ type authority_result = {
   network_time : Sim.Simtime.t option;
 }
 
+(* Telemetry bundle of one run; [None] unless [env.telemetry]. *)
+type obs = {
+  metrics : Obs.Metrics.t;
+      (* "time-to-decision" + "delivery-latency/<label>" histograms *)
+  spans : Obs.Events.span list;
+  samples : Obs.Events.sample list;
+  profile : Obs.Profiler.shard list; (* wall-clock busy/wait per shard *)
+}
+
 type run_result = {
   protocol : string;
   per_authority : authority_result array;
   stats : Sim.Stats.t;
   trace : Sim.Trace.t;
+  obs : obs option;
 }
+
+(* Driver-facing telemetry context.  Every emission helper takes the
+   [ctx option] itself and is a no-op on [None], so an instrumented
+   driver pays one option test per phase transition when telemetry is
+   off — nothing per message or per event. *)
+module Telemetry = struct
+  type ctx = {
+    tl_events : Obs.Events.t;
+    tl_engine : Sim.Engine.t;
+    (* Open (phase, start) pairs per node, for begin/end instrumented
+       drivers.  A node's handlers all run on its own shard, so each
+       slot is only touched from one domain. *)
+    tl_opens : (string * Sim.Simtime.t) list array;
+  }
+
+  let probe_interval = 5.
+
+  let start (env : t) ~engine ~net ?stop () =
+    if not env.telemetry then None
+    else begin
+      let stop = Option.value stop ~default:env.horizon in
+      Sim.Engine.enable_profiler engine;
+      Sim.Net.enable_obs net;
+      let events =
+        Obs.Events.create ~lanes:(Sim.Engine.shard_count engine) ()
+      in
+      Sim.Net.install_probes net ~events ~interval:probe_interval ~stop;
+      Some { tl_events = events; tl_engine = engine; tl_opens = Array.make env.n [] }
+    end
+
+  let lane c = Sim.Engine.current_shard c.tl_engine
+
+  let span ?(complete = true) ctx ~node ~phase ~start ~stop =
+    match ctx with
+    | None -> ()
+    | Some c ->
+        Obs.Events.span c.tl_events ~lane:(lane c) ~node ~phase ~start ~stop
+          ~complete
+
+  let phase_begin ctx ~node phase =
+    match ctx with
+    | None -> ()
+    | Some c ->
+        c.tl_opens.(node) <-
+          (phase, Sim.Engine.now c.tl_engine) :: c.tl_opens.(node)
+
+  let phase_end ctx ~node phase =
+    match ctx with
+    | None -> ()
+    | Some c -> (
+        match List.assoc_opt phase c.tl_opens.(node) with
+        | None -> () (* already closed (or never opened): idempotent *)
+        | Some start ->
+            c.tl_opens.(node) <- List.remove_assoc phase c.tl_opens.(node);
+            Obs.Events.span c.tl_events ~lane:(lane c) ~node ~phase ~start
+              ~stop:(Sim.Engine.now c.tl_engine) ~complete:true)
+
+  (* After [Engine.run]: close dangling phases as incomplete (the
+     stall diagnosis the chaos harness reads), fold the decision times
+     into a histogram next to the net's delivery latencies, and attach
+     the engine profile. *)
+  let finish ctx ~engine ~net ~per_authority =
+    match ctx with
+    | None -> None
+    | Some c ->
+        let now = Sim.Engine.now engine in
+        Array.iteri
+          (fun node opens ->
+            List.iter
+              (fun (phase, start) ->
+                Obs.Events.span c.tl_events ~lane:0 ~node ~phase ~start
+                  ~stop:now ~complete:false)
+              (List.rev opens))
+          c.tl_opens;
+        let metrics = Sim.Net.obs_metrics net in
+        let h = Obs.Metrics.histogram metrics "time-to-decision" in
+        Array.iter
+          (fun (a : authority_result) ->
+            match a.decided_at with
+            | Some d -> Obs.Metrics.observe h d
+            | None -> ())
+          per_authority;
+        Some
+          {
+            metrics;
+            spans = Obs.Events.spans c.tl_events;
+            samples = Obs.Events.samples c.tl_events;
+            profile =
+              (match Sim.Engine.profile engine with
+              | Some p -> p
+              | None -> []);
+          }
+end
 
 let majority ~n = (n / 2) + 1
 
@@ -294,6 +400,58 @@ let report env ?distribution (result : run_result) =
     dropped = Sim.Stats.dropped result.stats;
     distribution;
   }
+
+let report_obs r = r.result.obs
+
+let time_to_decision r =
+  Option.bind r.result.obs (fun o ->
+      Obs.Metrics.find_histogram o.metrics "time-to-decision")
+
+let delivery_latency r label =
+  Option.bind r.result.obs (fun o ->
+      Obs.Metrics.find_histogram o.metrics ("delivery-latency/" ^ label))
+
+(* Which phase a failing run is stuck in: among correct authorities
+   that never decided, take each one's latest-begun incomplete span and
+   return the most common phase (count ties break to the
+   alphabetically-first name, so the answer is deterministic). *)
+let stalled_phase env r =
+  match r.result.obs with
+  | None -> None
+  | Some o ->
+      let latest = Hashtbl.create 8 in
+      List.iter
+        (fun (s : Obs.Events.span) ->
+          if
+            (not s.Obs.Events.complete)
+            && s.node >= 0 && s.node < env.n
+            && correct_behavior env.behaviors.(s.node)
+            && r.result.per_authority.(s.node).decided_at = None
+          then
+            let better =
+              match Hashtbl.find_opt latest s.node with
+              | None -> true
+              | Some (st, ph) ->
+                  s.start > st
+                  || (s.start = st && String.compare s.phase ph > 0)
+            in
+            if better then Hashtbl.replace latest s.node (s.start, s.phase))
+        o.spans;
+      let counts = Hashtbl.create 8 in
+      Hashtbl.iter
+        (fun _ (_, ph) ->
+          Hashtbl.replace counts ph
+            (1 + Option.value (Hashtbl.find_opt counts ph) ~default:0))
+        latest;
+      Hashtbl.fold
+        (fun ph c best ->
+          match best with
+          | Some (bc, bp) when c < bc || (c = bc && String.compare bp ph <= 0)
+            ->
+              best
+          | _ -> Some (c, ph))
+        counts None
+      |> Option.map snd
 
 let apply_attacks env net =
   List.iter

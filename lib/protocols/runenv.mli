@@ -39,6 +39,14 @@ type t = {
       (** requested engine shard (domain) count; see
           {!effective_shards}.  Results are bit-identical at every
           shard count — this only chooses the execution strategy. *)
+  telemetry : bool;
+      (** record phase spans, latency histograms, probes and the engine
+          profile into {!run_result.obs}.  Default [false] (zero-cost:
+          the hot paths pay a branch, never an allocation).  Like
+          [shards], telemetry never changes simulation outcomes — and
+          unlike [shards] it is deliberately NOT part of {!Spec.t}, so
+          flipping it cannot invalidate existing spec digests; enable
+          it with a record update: [{ env with Runenv.telemetry = true }]. *)
 }
 
 val awake : t -> int -> now:Tor_sim.Simtime.t -> bool
@@ -129,12 +137,82 @@ type authority_result = {
       (** the paper's latency metric: summed per-round network time *)
 }
 
+(** Telemetry bundle of one run, present iff {!t.telemetry} was set.
+    Everything except [profile] (wall-clock, host-dependent) and the
+    ["queue-depth"] samples (per-shard by construction) is
+    bit-identical at every shard count, like the rest of the result. *)
+type obs = {
+  metrics : Obs.Metrics.t;
+      (** ["time-to-decision"] (seconds until each deciding authority
+          decided) and ["delivery-latency/<label>"] (send to handler,
+          per interned message label) histograms. *)
+  spans : Obs.Events.span list;
+      (** protocol-phase spans, one track per node; [complete = false]
+          marks a phase the run ended inside *)
+  samples : Obs.Events.sample list;
+      (** periodic ["nic-backlog"] (per node) and ["queue-depth"] (per
+          shard) probes *)
+  profile : Obs.Profiler.shard list;
+      (** wall-clock busy vs barrier-wait per engine shard *)
+}
+
 type run_result = {
   protocol : string;
   per_authority : authority_result array;
   stats : Tor_sim.Stats.t;
   trace : Tor_sim.Trace.t;
+  obs : obs option;
 }
+
+(** Instrumentation helper shared by the protocol drivers.  All
+    emission functions are no-ops on a [None] context, so drivers
+    instrument unconditionally and the off-path cost is one option
+    test per phase transition. *)
+module Telemetry : sig
+  type ctx
+
+  val start :
+    t ->
+    engine:Tor_sim.Engine.t ->
+    net:'m Tor_sim.Net.t ->
+    ?stop:Tor_sim.Simtime.t ->
+    unit ->
+    ctx option
+  (** [None] unless the environment has [telemetry] set.  Otherwise
+      enables the engine profiler and the net's latency histograms and
+      installs the periodic probes (every 5 sim seconds until [stop],
+      default the environment horizon).  Call at setup, after message
+      labels are interned and before [Engine.run]. *)
+
+  val span :
+    ?complete:bool ->
+    ctx option ->
+    node:int ->
+    phase:string ->
+    start:Tor_sim.Simtime.t ->
+    stop:Tor_sim.Simtime.t ->
+    unit
+  (** Emit one finished span directly — how the lock-step drivers
+      record their fixed round structure after the run. *)
+
+  val phase_begin : ctx option -> node:int -> string -> unit
+  (** Open a phase at the current sim time (from the node's own
+      shard). *)
+
+  val phase_end : ctx option -> node:int -> string -> unit
+  (** Close an open phase as complete; a no-op if it is not open, so
+      calling it from every place that can end a phase is safe. *)
+
+  val finish :
+    ctx option ->
+    engine:Tor_sim.Engine.t ->
+    net:'m Tor_sim.Net.t ->
+    per_authority:authority_result array ->
+    obs option
+  (** After the run: closes still-open phases as incomplete, builds the
+      ["time-to-decision"] histogram from [decided_at], merges the
+      net's latency histograms, and attaches the engine profile. *)
+end
 
 val majority : n:int -> int
 (** [n / 2 + 1] — signatures needed for a valid consensus document. *)
@@ -181,6 +259,23 @@ val report :
   t -> ?distribution:Torclient.Distribution.outcome -> run_result -> report
 (** Assemble a {!report} from a raw result, computing the agreement
     verdict and traffic totals with the helpers above. *)
+
+val report_obs : report -> obs option
+(** The run's telemetry bundle ([None] when telemetry was off). *)
+
+val time_to_decision : report -> Obs.Metrics.histogram option
+(** The ["time-to-decision"] histogram: one observation per authority
+    that decided, at its decision time. *)
+
+val delivery_latency : report -> string -> Obs.Metrics.histogram option
+(** [delivery_latency r label] — the delivery-latency histogram of one
+    interned message label (e.g. ["vote"], ["consensus-sig"]). *)
+
+val stalled_phase : t -> report -> string option
+(** Diagnosis for a failed run: among correct authorities that never
+    decided, each one's latest-begun incomplete phase span, reduced to
+    the most common phase name (ties alphabetically).  [None] when
+    telemetry was off or every correct authority decided. *)
 
 val apply_attacks : t -> 'm Tor_sim.Net.t -> unit
 (** Install every attack window on the network's NICs, and install the

@@ -89,6 +89,8 @@ let run (env : Runenv.t) =
   let lbl_sig = Sim.Net.intern net "sig" in
   let lbl_sig_request = Sim.Net.intern net "sig-request" in
   let lbl_sig_fetch = Sim.Net.intern net "sig-fetch" in
+  let until_cap = Float.min env.horizon (4. *. round_seconds) in
+  let tel = Runenv.Telemetry.start env ~engine ~net ~stop:until_cap () in
   let dir_deadline = Some Wire.dir_connection_timeout in
   let agg_memos =
     Array.init (Sim.Engine.shard_count engine) (fun _ ->
@@ -217,7 +219,8 @@ let run (env : Runenv.t) =
   Array.iter
     (fun node ->
       ignore
-        (Sim.Engine.schedule engine ~at:(2. *. round_seconds) (fun () ->
+        (Sim.Engine.schedule engine ~owner:node.id ~at:(2. *. round_seconds)
+           (fun () ->
              if not (Runenv.awake env node.id ~now:(now ())) then ()
              else begin
                let held =
@@ -245,13 +248,47 @@ let run (env : Runenv.t) =
   Array.iter
     (fun node ->
       ignore
-        (Sim.Engine.schedule engine ~at:(3. *. round_seconds) (fun () ->
+        (Sim.Engine.schedule engine ~owner:node.id ~at:(3. *. round_seconds)
+           (fun () ->
              if Runenv.awake env node.id ~now:(now ())
                 && Siground.consensus node.sig_round <> None
                 && Siground.count node.sig_round < need
              then broadcast ~src:node.id ~label:lbl_sig_request Sig_request)))
     nodes;
-  Sim.Engine.run ~until:(Float.min env.horizon (4. *. round_seconds)) engine;
+  Sim.Engine.run ~until:until_cap engine;
+  (* Lock-step phase spans (see current_v3.ml): the Dolev-Strong
+     dissemination takes the first two rounds here, committed votes
+     standing in for held ones. *)
+  let run_end = now () in
+  Array.iter
+    (fun node ->
+      if Runenv.participates env.behaviors.(node.id) then begin
+        let id = node.id in
+        let committed_count =
+          List.length
+            (List.filter
+               (fun j -> committed node ~origin:j)
+               (List.init n Fun.id))
+        in
+        let consensus = Siground.consensus node.sig_round in
+        let decided = Siground.decided_at node.sig_round in
+        Runenv.Telemetry.span tel ~node:id ~phase:"vote-dissemination"
+          ~start:0. ~stop:(2. *. round_seconds)
+          ~complete:(committed_count >= need);
+        if committed_count >= need then
+          Runenv.Telemetry.span tel ~node:id ~phase:"aggregation"
+            ~start:(2. *. round_seconds) ~stop:(3. *. round_seconds)
+            ~complete:(consensus <> None);
+        if consensus <> None then
+          Runenv.Telemetry.span tel ~node:id ~phase:"signature-exchange"
+            ~start:(2. *. round_seconds)
+            ~stop:
+              (match decided with
+              | Some d -> Float.max d (2. *. round_seconds)
+              | None -> run_end)
+            ~complete:(decided <> None)
+      end)
+    nodes;
   let per_authority =
     Array.map
       (fun node ->
@@ -269,4 +306,5 @@ let run (env : Runenv.t) =
         })
       nodes
   in
-  { Runenv.protocol = name; per_authority; stats = Sim.Net.stats net; trace }
+  let obs = Runenv.Telemetry.finish tel ~engine ~net ~per_authority in
+  { Runenv.protocol = name; per_authority; stats = Sim.Net.stats net; trace; obs }

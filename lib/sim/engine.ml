@@ -87,6 +87,7 @@ type t = {
   mutable n_callbacks : int;
   mutable round_hook : int -> unit; (* cross-shard mail drain, set by Net *)
   mutable running_multi : bool;
+  mutable profiler : Obs.Profiler.t option;
 }
 
 let no_round_hook (_ : int) = ()
@@ -120,6 +121,7 @@ let create ?(shards = 1) ?(nodes = 0) ?(lookahead = Simtime.never) () =
     n_callbacks = 0;
     round_hook = no_round_hook;
     running_multi = false;
+    profiler = None;
   }
 
 let shard_count t = Array.length t.shards
@@ -136,6 +138,15 @@ let shard_of_node t owner =
 
 let now t = t.shards.(current_shard t).clock
 let set_round_hook t f = t.round_hook <- f
+
+let enable_profiler t =
+  match t.profiler with
+  | Some _ -> ()
+  | None -> t.profiler <- Some (Obs.Profiler.create ~shards:(shard_count t))
+
+let profile t = Option.map Obs.Profiler.report t.profiler
+
+let queue_depth t = Event_queue.size t.shards.(current_shard t).queue
 
 let register_callback t f =
   if t.n_callbacks = Array.length t.callbacks then begin
@@ -276,14 +287,24 @@ let dispatch t sh idx =
 let run_single ?until t =
   let sh = t.shards.(0) in
   let horizon = Option.value until ~default:Simtime.never in
-  let rec loop () =
+  let rec loop n =
     let idx = Event_queue.pop_if_before sh.queue ~horizon ~default:(-1) in
     if idx >= 0 then begin
       dispatch t sh idx;
-      loop ()
+      loop (n + 1)
     end
+    else n
   in
-  loop ();
+  (* One profiler branch per run, not per event: with profiling off the
+     loop is the PR-3 hot loop plus a dead int argument. *)
+  (match t.profiler with
+  | None -> ignore (loop 0)
+  | Some p ->
+      let t0 = Obs.Profiler.now () in
+      let n = loop 0 in
+      Obs.Profiler.add_busy p 0 (Obs.Profiler.now () -. t0);
+      Obs.Profiler.add_events p 0 n;
+      Obs.Profiler.incr_rounds p 0);
   sh.cur_owner <- -1;
   match until with
   | Some u when sh.clock < u && not (Simtime.is_infinite u) -> sh.clock <- u
@@ -346,6 +367,18 @@ let run_multi ?until t =
   let lbs = Array.make s Simtime.never in
   let barrier = Barrier.create s in
   let failures = Array.make s None in
+  let prof = t.profiler in
+  (* Timed barrier wait: the profiler charges blocked time to the shard
+     doing the blocking.  One branch per round when profiling is off. *)
+  let bwait d =
+    match prof with
+    | None -> Barrier.wait barrier
+    | Some p ->
+        let t0 = Obs.Profiler.now () in
+        let ok = Barrier.wait barrier in
+        Obs.Profiler.add_wait p d (Obs.Profiler.now () -. t0);
+        ok
+  in
   let worker d =
     Domain_ctx.set d;
     let sh = t.shards.(d) in
@@ -361,7 +394,7 @@ let run_multi ?until t =
            (match Event_queue.peek_time sh.queue with
            | Some tm -> tm
            | None -> Simtime.never);
-         if not (Barrier.wait barrier) then continue := false
+         if not (bwait d) then continue := false
          else begin
            let gmin = ref Simtime.never in
            for j = 0 to s - 1 do
@@ -378,17 +411,25 @@ let run_multi ?until t =
                 other shards alone lets the globally-min shard run
                 ahead and receive a reply in its own past. *)
              let strict = Simtime.add !gmin t.lookahead in
-             let rec pops () =
+             let rec pops n =
                let idx =
                  Event_queue.pop_if_within sh.queue ~strict ~le:cap ~default:(-1)
                in
                if idx >= 0 then begin
                  dispatch t sh idx;
-                 pops ()
+                 pops (n + 1)
                end
+               else n
              in
-             pops ();
-             if not (Barrier.wait barrier) then continue := false
+             (match prof with
+             | None -> ignore (pops 0)
+             | Some p ->
+                 let t0 = Obs.Profiler.now () in
+                 let n = pops 0 in
+                 Obs.Profiler.add_busy p d (Obs.Profiler.now () -. t0);
+                 Obs.Profiler.add_events p d n;
+                 Obs.Profiler.incr_rounds p d);
+             if not (bwait d) then continue := false
            end
          end
        done

@@ -119,3 +119,21 @@ val run : ?until:Simtime.t -> t -> unit
 val pending : t -> int
 (** Number of events still queued (including cancelled husks), summed
     over shards. *)
+
+(** {1 Telemetry} *)
+
+val enable_profiler : t -> unit
+(** Attach a wall-clock profiler recording, per shard and per round,
+    busy time (dispatching events) and barrier-wait time.  Idempotent.
+    When no profiler is attached (the default) the run loops pay one
+    branch per round, nothing per event. *)
+
+val profile : t -> Obs.Profiler.shard list option
+(** Accumulated profile, one entry per shard; [None] unless
+    {!enable_profiler} was called.  Read it after {!run} returns —
+    worker domains have joined by then. *)
+
+val queue_depth : t -> int
+(** Events queued on the calling domain's shard (cancelled husks
+    included) — the probe view of local backlog, safe to read from
+    inside a sharded run, unlike {!pending}. *)

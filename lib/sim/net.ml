@@ -73,6 +73,14 @@ type 'm t = {
   mutable fault : Fault.t option; (* installed injector, if any *)
   mutable handler : (dst:int -> src:int -> 'm -> unit) option;
   mutable trampoline : Engine.callback option;
+  mutable obs_on : bool; (* record delivery latencies (one test per delivery) *)
+  (* Delivery-latency histograms indexed [dst node][interned label id],
+     sized only when telemetry is enabled.  Keyed per destination — not
+     per shard — because a node's deliveries happen in the same sim
+     order at every shard count, so even the order-sensitive float sums
+     inside each histogram are bit-identical, and [obs_metrics] merges
+     in fixed node order. *)
+  mutable lat : Obs.Metrics.histogram array array;
 }
 
 let n t = Array.length t.nics
@@ -91,6 +99,17 @@ let stats t =
     m
   end
 
+let ensure_lat t =
+  let nlabels = List.length t.interned in
+  Array.iteri
+    (fun node row ->
+      let cur = Array.length row in
+      if nlabels > cur then
+        t.lat.(node) <-
+          Array.init nlabels (fun i ->
+              if i < cur then row.(i) else Obs.Metrics.histogram_create ()))
+    t.lat
+
 let intern t name =
   if not (List.mem name t.interned) then t.interned <- name :: t.interned;
   (* Every pool interns the same name sequence, so one name gets the
@@ -98,7 +117,40 @@ let intern t name =
      mail across shards unchanged. *)
   let id = ref Stats.no_label in
   Array.iter (fun p -> id := Stats.intern p.p_stats name) t.pools;
+  if t.obs_on then ensure_lat t;
   !id
+
+let enable_obs t =
+  t.obs_on <- true;
+  if Array.length t.lat <> n t then
+    t.lat <- Array.make (n t) [||];
+  ensure_lat t
+
+let obs_metrics t =
+  let reg = Obs.Metrics.create () in
+  (* Oldest-first replay gives label ids in interning order; merge each
+     id's per-node histograms under the label's name, in node order —
+     shard-count-invariant, like [stats]'s merged snapshot. *)
+  List.iteri
+    (fun id name ->
+      let h = Obs.Metrics.histogram reg ("delivery-latency/" ^ name) in
+      Array.iter
+        (fun row ->
+          if id < Array.length row then
+            Obs.Metrics.merge_histogram ~into:h row.(id))
+        t.lat)
+    (List.rev t.interned);
+  reg
+
+(* Called at the instant a labelled message reaches its handler, on the
+   destination's shard — the only writer of that node's histograms. *)
+let observe_latency t ~dst ~label ~sent_at =
+  if label <> Stats.no_label then begin
+    let id = Stats.label_id label in
+    let row = t.lat.(dst) in
+    if id >= 0 && id < Array.length row then
+      Obs.Metrics.observe row.(id) (Engine.now t.engine -. sent_at)
+  end
 
 let check_node t id name =
   if id < 0 || id >= n t then invalid_arg ("Net." ^ name ^ ": node out of range")
@@ -173,10 +225,13 @@ let trampoline t fl =
   let stage = stage_of bits in
   if stage = stage_self then begin
     let src = p.fl_src.(fl) and dst = p.fl_dst.(fl) and msg = p.fl_msg.(fl) in
-    let label = p.fl_label.(fl) in
+    let label = p.fl_label.(fl) and sent_at = p.fl_sent_at.(fl) in
     release_flight p fl;
     if crashed_now t dst then Stats.record_drop p.p_stats ~node:dst ~label
-    else deliver t ~dst ~src msg
+    else begin
+      if t.obs_on then observe_latency t ~dst ~label ~sent_at;
+      deliver t ~dst ~src msg
+    end
   end
   else if stage = stage_arrival then begin
     let dst = p.fl_dst.(fl) and size = p.fl_size.(fl) in
@@ -218,6 +273,7 @@ let trampoline t fl =
     else begin
       let src = p.fl_src.(fl) and msg = p.fl_msg.(fl) in
       let duplicate = bits land flag_duplicate <> 0 in
+      if t.obs_on then observe_latency t ~dst ~label ~sent_at:p.fl_sent_at.(fl);
       release_flight p fl;
       deliver t ~dst ~src msg;
       if duplicate then deliver t ~dst ~src msg
@@ -284,6 +340,8 @@ let create ~engine ~topology ~bits_per_sec () =
       fault = None;
       handler = None;
       trampoline = None;
+      obs_on = false;
+      lat = [||];
     }
   in
   t.trampoline <- Some (Engine.register_callback engine (fun fl -> trampoline t fl));
@@ -391,3 +449,38 @@ let broadcast t ~src ~size ?label ?deadline msg =
 let limit_node t ~node ~start ~stop ~bits_per_sec =
   check_node t node "limit_node";
   Nic.limit_window t.nics.(node) ~start ~stop ~bits_per_sec
+
+(* Periodic telemetry probes, one recurring event per node.  Each probe
+   samples the node's NIC backlog (drain time of everything already
+   reserved); the first node of each shard additionally samples its
+   shard's event-queue depth.  Probes run on their node's shard with
+   ordinary sharding-invariant tie-break keys, read state that the
+   node's own shard already owns, and change nothing — so enabling them
+   perturbs no simulation outcome, at any shard count, and the
+   nic-backlog stream itself is shard-count-invariant (queue depth is
+   per-shard by construction and excluded from that guarantee). *)
+let install_probes t ~events ~interval ~stop =
+  if not (interval > 0.) then
+    invalid_arg "Net.install_probes: interval must be positive";
+  let engine = t.engine in
+  let first_of_shard = Array.make (shards t) max_int in
+  for node = 0 to n t - 1 do
+    let s = Engine.shard_of_node engine node in
+    if node < first_of_shard.(s) then first_of_shard.(s) <- node
+  done;
+  let rec probe node () =
+    let now = Engine.now engine in
+    let lane = Engine.current_shard engine in
+    let backlog = Float.max 0. (Nic.busy_until t.nics.(node) -. now) in
+    Obs.Events.sample events ~lane ~node ~track:"nic-backlog" ~time:now
+      ~value:backlog;
+    if first_of_shard.(lane) = node then
+      Obs.Events.sample events ~lane ~node ~track:"queue-depth" ~time:now
+        ~value:(float_of_int (Engine.queue_depth engine));
+    let next = now +. interval in
+    if next <= stop then
+      ignore (Engine.schedule engine ~owner:node ~at:next (probe node))
+  in
+  for node = 0 to n t - 1 do
+    ignore (Engine.schedule engine ~owner:node ~at:Simtime.zero (probe node))
+  done

@@ -104,3 +104,30 @@ val broadcast :
 val limit_node :
   'm t -> node:int -> start:Simtime.t -> stop:Simtime.t -> bits_per_sec:float -> unit
 (** Cap [node]'s NIC during a window; the DDoS primitive. *)
+
+(** {1 Telemetry} *)
+
+val enable_obs : 'm t -> unit
+(** Start recording per-label delivery latencies (send instant to
+    handler invocation) into per-shard histograms.  Off by default; the
+    hot path then pays one boolean test per delivery.  Call at setup,
+    after the protocol's labels are interned (later {!intern}s are
+    still picked up). *)
+
+val obs_metrics : 'm t -> Obs.Metrics.t
+(** Merged snapshot of the telemetry metrics: one
+    ["delivery-latency/<label>"] histogram per interned label, summed
+    over shards (order-insensitive, so identical to a single-shard
+    run's).  Take it after {!Engine.run} returns.  Empty when
+    {!enable_obs} was never called. *)
+
+val install_probes :
+  'm t -> events:Obs.Events.t -> interval:Simtime.t -> stop:Simtime.t -> unit
+(** Schedule one recurring probe per node, every [interval] sim seconds
+    from time 0 through [stop], recording a ["nic-backlog"] sample (how
+    far the node's NIC is booked past now, in seconds) and — on the
+    first node of each shard — a ["queue-depth"] sample of that shard's
+    event queue.  Probes are read-only and keyed like ordinary events,
+    so they never change simulation outcomes; nic-backlog samples are
+    bit-identical across shard counts, queue-depth is inherently
+    per-shard.  Raises [Invalid_argument] if [interval <= 0]. *)

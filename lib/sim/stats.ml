@@ -1,6 +1,7 @@
 type label = int
 
 let no_label = -1
+let label_id l = l
 
 type t = {
   bytes_sent : int array;

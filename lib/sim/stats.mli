@@ -25,6 +25,11 @@ val intern : t -> string -> label
 val no_label : label
 (** Sentinel accepted by {!record_send} for unlabelled traffic. *)
 
+val label_id : label -> int
+(** The dense id behind a label ([no_label] maps to [-1]), letting
+    sibling modules key side tables — e.g. per-label latency
+    histograms — without exposing the representation. *)
+
 val record_send : t -> node:int -> bytes:int -> label:label -> unit
 (** Allocation-free accounting for the network hot path. *)
 

@@ -41,8 +41,52 @@ let level_string = function Notice -> "notice" | Info -> "info" | Warn -> "warn"
 let render r =
   Format.asprintf "%a [%s] %s" Simtime.pp_tor_log r.time (level_string r.level) r.text
 
+(* Streaming merge over the lanes, yielding exactly the order of
+   [records] without materializing the merged list.  A lane is sorted
+   by time (each shard's clock is monotone) but not by node within one
+   instant, so a plain head-comparison k-way merge would not reproduce
+   the stable (time, node) sort.  Instead: take the smallest head time
+   across lanes, collect every lane's contiguous run at that instant
+   (in lane order — exactly their order in the concatenated input),
+   stable-sort that one group by node, emit.  Memory is bounded by the
+   largest single-instant group, not the trace. *)
+let iter ?node t f =
+  let lanes = Array.map (fun l -> Array.of_list (List.rev l)) t.lanes in
+  let k = Array.length lanes in
+  let pos = Array.make k 0 in
+  let wanted r = match node with None -> true | Some id -> r.node = Some id in
+  let rec next () =
+    let tmin = ref Float.infinity and any = ref false in
+    for l = 0 to k - 1 do
+      if pos.(l) < Array.length lanes.(l) then begin
+        any := true;
+        let at = lanes.(l).(pos.(l)).time in
+        if at < !tmin then tmin := at
+      end
+    done;
+    if !any then begin
+      let group = ref [] in
+      for l = 0 to k - 1 do
+        let lane = lanes.(l) in
+        let len = Array.length lane in
+        while pos.(l) < len && Float.equal lane.(pos.(l)).time !tmin do
+          group := lane.(pos.(l)) :: !group;
+          pos.(l) <- pos.(l) + 1
+        done
+      done;
+      List.rev !group
+      |> List.stable_sort (fun a b -> Int.compare (node_key a) (node_key b))
+      |> List.iter (fun r -> if wanted r then f r);
+      next ()
+    end
+  in
+  next ()
+
 let dump ?node t =
-  let rs = match node with None -> records t | Some id -> for_node t id in
-  String.concat "\n" (List.map render rs)
+  let buf = Buffer.create 256 in
+  iter ?node t (fun r ->
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf (render r));
+  Buffer.contents buf
 
 let clear t = Array.fill t.lanes 0 (Array.length t.lanes) []

@@ -37,6 +37,12 @@ val for_node : t -> int -> record list
 val render : record -> string
 (** One Tor-style log line: ["Jan 01 01:24:30.011 \[notice\] ..."]. *)
 
+val iter : ?node:int -> t -> (record -> unit) -> unit
+(** Visit records in exactly the order of {!records} (optionally one
+    node's), as a streaming merge over the lanes — no merged list is
+    materialized; memory is bounded by the records of one sim instant,
+    not the run.  [dump] and [torda-sim log] are built on it. *)
+
 val dump : ?node:int -> t -> string
 (** All (or one node's) records rendered, newline-separated. *)
 

@@ -10,6 +10,7 @@ let () =
       ("core", Test_core.suite);
       ("exec", Test_exec.suite);
       ("shards", Test_shards.suite);
+      ("obs", Test_obs.suite);
       ("client", Test_client.suite);
       ("attack", Test_attack.suite);
     ]

@@ -1,0 +1,314 @@
+(* Telemetry: histogram bucketing/merging, the metrics registry, the
+   Chrome trace-event export, streaming log iteration, and the headline
+   invariant — with telemetry on, the histograms, phase spans, and
+   nic-backlog probes of a sharded run are bit-identical to the
+   single-domain run (mirroring test_shards for the base results). *)
+
+module R = Protocols.Runenv
+module E = Torpartial.Experiments
+module M = Obs.Metrics
+
+(* --- histograms ---------------------------------------------------------- *)
+
+let test_histogram_basics () =
+  let h = M.histogram_create () in
+  Alcotest.(check int) "empty count" 0 (M.count h);
+  Alcotest.(check bool) "empty percentile nan" true
+    (Float.is_nan (M.percentile h 0.5));
+  List.iter (M.observe h) [ 0.010; 0.020; 0.030; 0.040; 0.100 ];
+  Alcotest.(check int) "count" 5 (M.count h);
+  Alcotest.(check (float 1e-9)) "sum exact" 0.2 (M.sum h);
+  Alcotest.(check (float 1e-9)) "min exact" 0.010 (M.min_value h);
+  Alcotest.(check (float 1e-9)) "max exact" 0.100 (M.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 0.04 (M.mean h);
+  (* Percentiles are bucket upper bounds clamped to the observed range:
+     p0+ sits at the exact min, p100 at the exact max, and the median's
+     bound lies between the true median and its bucket edge. *)
+  Alcotest.(check (float 1e-9)) "p100 is exact max" 0.100 (M.percentile h 1.0);
+  let p50 = M.percentile h 0.5 in
+  Alcotest.(check bool) "p50 upper-bounds the median" true
+    (p50 >= 0.030 && p50 <= 0.030 *. (10. ** (1. /. 16.)));
+  (* Edge behavior: negatives clamp to 0 (underflow bucket), tiny
+     values land in the underflow bucket, huge ones in the top bucket —
+     no exception, exact min/max still tracked. *)
+  let e = M.histogram_create () in
+  M.observe e (-1.);
+  M.observe e 1e-9;
+  M.observe e 1e12;
+  Alcotest.(check int) "edges counted" 3 (M.count e);
+  Alcotest.(check (float 0.)) "clamped min" 0. (M.min_value e);
+  Alcotest.(check (float 0.)) "huge max exact" 1e12 (M.max_value e)
+
+let test_histogram_merge_overlapping () =
+  (* Two histograms with overlapping buckets must merge to exactly the
+     histogram a single instance would have recorded for the union —
+     the property the per-shard latency tables rely on. *)
+  let values_a = [ 0.001; 0.010; 0.010; 0.500; 3.0 ] in
+  let values_b = [ 0.010; 0.020; 0.500; 0.500; 100.0 ] in
+  let a = M.histogram_create () and b = M.histogram_create () in
+  let one = M.histogram_create () in
+  List.iter (M.observe a) values_a;
+  List.iter (M.observe b) values_b;
+  List.iter (M.observe one) (values_a @ values_b);
+  let m = M.histogram_create () in
+  M.merge_histogram ~into:m a;
+  M.merge_histogram ~into:m b;
+  Alcotest.(check string) "merge == single recording" (M.render one) (M.render m);
+  (* Merge order is irrelevant. *)
+  let m' = M.histogram_create () in
+  M.merge_histogram ~into:m' b;
+  M.merge_histogram ~into:m' a;
+  Alcotest.(check string) "merge commutes" (M.render m) (M.render m')
+
+let test_registry_merge () =
+  let a = M.create () and b = M.create () in
+  M.add (M.counter a "msgs") 3;
+  M.add (M.counter b "msgs") 4;
+  M.incr (M.counter b "only-b");
+  M.set_gauge (M.gauge a "depth") 5.;
+  M.set_gauge (M.gauge b "depth") 2.;
+  M.observe (M.histogram a "lat") 0.01;
+  M.observe (M.histogram b "lat") 0.02;
+  let into = M.create () in
+  M.merge_into ~into a;
+  M.merge_into ~into b;
+  Alcotest.(check (list (pair string int))) "counters add, by name"
+    [ ("msgs", 7); ("only-b", 1) ]
+    (M.counters into);
+  Alcotest.(check (list (pair string (float 0.)))) "gauges keep max"
+    [ ("depth", 5.) ]
+    (M.gauges into);
+  (match M.find_histogram into "lat" with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some h ->
+      Alcotest.(check int) "histogram observations" 2 (M.count h);
+      Alcotest.(check (float 1e-9)) "histogram sum" 0.03 (M.sum h));
+  Alcotest.(check bool) "unknown name" true (M.find_histogram into "nope" = None)
+
+(* --- trace-event export -------------------------------------------------- *)
+
+let test_trace_event_json () =
+  let events = Obs.Events.create ~lanes:2 () in
+  Obs.Events.span events ~lane:1 ~node:1 ~phase:"agreement" ~start:0.5 ~stop:2.5
+    ~complete:true;
+  Obs.Events.span events ~lane:0 ~node:0 ~phase:"dissemination" ~start:0.
+    ~stop:1.5 ~complete:false;
+  Obs.Events.sample events ~lane:0 ~node:0 ~track:"nic-backlog" ~time:1.0
+    ~value:0.25;
+  let spans = Obs.Events.spans events in
+  (* Merged accessor sorts on every field: lane placement is invisible. *)
+  Alcotest.(check int) "both spans" 2 (List.length spans);
+  Alcotest.(check string) "sorted by start" "dissemination"
+    (List.hd spans).Obs.Events.phase;
+  let json =
+    Obs.Trace_event.to_string ~spans ~samples:(Obs.Events.samples events) ()
+  in
+  let contains needle =
+    let n = String.length needle and len = String.length json in
+    let rec go i = i + n <= len && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has traceEvents" true (contains "\"traceEvents\"");
+  Alcotest.(check bool) "has complete events" true (contains "\"ph\": \"X\"");
+  Alcotest.(check bool) "has counter events" true (contains "\"ph\": \"C\"");
+  Alcotest.(check bool) "has thread metadata" true (contains "\"thread_name\"");
+  (* Sim seconds to trace microseconds. *)
+  Alcotest.(check bool) "span start in us" true (contains "\"ts\": 500000.000");
+  Alcotest.(check bool) "span duration in us" true (contains "\"dur\": 2000000.000");
+  Alcotest.(check bool) "counter named per node" true
+    (contains "\"name\": \"nic-backlog (node 0)\"");
+  Alcotest.(check bool) "incomplete span flagged" true
+    (contains "\"complete\": false")
+
+(* --- profiler ------------------------------------------------------------ *)
+
+let test_profiler_accumulates () =
+  let p = Obs.Profiler.create ~shards:2 in
+  Obs.Profiler.add_busy p 0 0.5;
+  Obs.Profiler.add_busy p 0 0.25;
+  Obs.Profiler.add_wait p 1 0.125;
+  Obs.Profiler.add_events p 0 10;
+  Obs.Profiler.incr_rounds p 0;
+  Obs.Profiler.incr_rounds p 0;
+  match Obs.Profiler.report p with
+  | [ s0; s1 ] ->
+      Alcotest.(check (float 1e-9)) "busy sums" 0.75 s0.Obs.Profiler.busy_s;
+      Alcotest.(check (float 1e-9)) "wait sums" 0.125 s1.Obs.Profiler.wait_s;
+      Alcotest.(check int) "events" 10 s0.Obs.Profiler.events;
+      Alcotest.(check int) "rounds" 2 s0.Obs.Profiler.rounds;
+      Alcotest.(check int) "shard ids" 1 s1.Obs.Profiler.shard
+  | l -> Alcotest.failf "expected 2 shard entries, got %d" (List.length l)
+
+(* --- streaming log iteration --------------------------------------------- *)
+
+let test_trace_iter_matches_records () =
+  let t = Tor_sim.Trace.create ~lanes:3 () in
+  (* Interleave lanes with colliding times so the merge has real ties
+     to break. *)
+  for i = 0 to 29 do
+    let lane = i mod 3 in
+    Tor_sim.Domain_ctx.set lane;
+    Tor_sim.Trace.log t
+      ~time:(float_of_int (i / 6))
+      ~node:(i mod 5) Tor_sim.Trace.Notice
+      (Printf.sprintf "record %d" i)
+  done;
+  Tor_sim.Domain_ctx.set 0;
+  let via_iter = ref [] in
+  Tor_sim.Trace.iter t (fun r -> via_iter := r :: !via_iter);
+  Alcotest.(check (list string)) "iter order == records order"
+    (List.map Tor_sim.Trace.render (Tor_sim.Trace.records t))
+    (List.map Tor_sim.Trace.render (List.rev !via_iter));
+  let node2 = ref [] in
+  Tor_sim.Trace.iter ~node:2 t (fun r -> node2 := r :: !node2);
+  Alcotest.(check (list string)) "node filter == for_node"
+    (List.map Tor_sim.Trace.render (Tor_sim.Trace.for_node t 2))
+    (List.map Tor_sim.Trace.render (List.rev !node2));
+  Alcotest.(check string) "dump built on iter"
+    (String.concat "\n"
+       (List.map Tor_sim.Trace.render (Tor_sim.Trace.records t)))
+    (Tor_sim.Trace.dump t)
+
+(* --- end-to-end telemetry ------------------------------------------------ *)
+
+let obs_spec = { R.Spec.default with R.Spec.n_relays = 400; horizon = 600. }
+
+let run_obs spec protocol shards =
+  let env = R.of_spec { spec with R.Spec.shards } in
+  let env = { env with R.telemetry = true } in
+  let report = E.run protocol env in
+  match R.report_obs report with
+  | Some o -> (report, o)
+  | None -> Alcotest.fail "telemetry on but no obs in the result"
+
+(* Everything deterministic about a run's telemetry: histograms in
+   canonical text form, every span field, and the nic-backlog probe
+   stream.  Queue-depth samples are per-shard by construction and the
+   profile is wall-clock, so both stay out of the determinism check. *)
+let obs_summary (o : R.obs) =
+  ( List.map (fun (name, h) -> (name, M.render h)) (M.histograms o.R.metrics),
+    o.R.spans,
+    List.filter
+      (fun (s : Obs.Events.sample) -> s.Obs.Events.track = "nic-backlog")
+      o.R.samples )
+
+let check_obs_shard_counts ~name spec protocol counts =
+  let _, base_obs = run_obs spec protocol 1 in
+  let base = obs_summary base_obs in
+  let hists, spans, samples = base in
+  Alcotest.(check bool) (name ^ ": has spans") true (spans <> []);
+  Alcotest.(check bool) (name ^ ": has probes") true (samples <> []);
+  Alcotest.(check bool)
+    (name ^ ": has delivery histograms")
+    true
+    (List.exists
+       (fun (n, _) -> String.length n > 17 && String.sub n 0 17 = "delivery-latency/")
+       hists);
+  List.iter
+    (fun s ->
+      let _, got = run_obs spec protocol s in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: telemetry at %d shards == 1 shard" name s)
+        true
+        (obs_summary got = base))
+    counts
+
+let test_obs_sharded_ours () =
+  check_obs_shard_counts ~name:"ours" obs_spec E.Ours [ 2; 4; 8 ]
+
+let test_obs_sharded_current () =
+  check_obs_shard_counts ~name:"current" obs_spec E.Current [ 2; 4 ]
+
+let test_obs_sharded_sync () =
+  check_obs_shard_counts ~name:"synchronous" obs_spec E.Synchronous [ 2; 4 ]
+
+let test_report_accessors () =
+  let report, o = run_obs obs_spec E.Ours 1 in
+  (* Every decided authority contributes one time-to-decision
+     observation. *)
+  let decided =
+    Array.to_list report.R.result.R.per_authority
+    |> List.filter (fun (a : R.authority_result) -> a.R.decided_at <> None)
+    |> List.length
+  in
+  (match R.time_to_decision report with
+  | None -> Alcotest.fail "time-to-decision histogram missing"
+  | Some h ->
+      Alcotest.(check int) "one observation per decision" decided (M.count h);
+      Alcotest.(check bool) "decisions happened" true (decided > 0));
+  (match R.delivery_latency report "document" with
+  | None -> Alcotest.fail "document delivery histogram missing"
+  | Some h -> Alcotest.(check bool) "documents delivered" true (M.count h > 0));
+  Alcotest.(check bool) "unknown label" true
+    (R.delivery_latency report "no-such-label" = None);
+  (* All phases a healthy partial-synchrony run goes through, each
+     complete on every participating node. *)
+  let phases =
+    List.sort_uniq String.compare
+      (List.map (fun (s : Obs.Events.span) -> s.Obs.Events.phase) o.R.spans)
+  in
+  Alcotest.(check (list string)) "phase taxonomy"
+    [ "aggregation"; "agreement"; "dissemination"; "signature-exchange" ]
+    phases;
+  Alcotest.(check bool) "healthy run: all spans complete" true
+    (List.for_all (fun (s : Obs.Events.span) -> s.Obs.Events.complete) o.R.spans);
+  (* Telemetry off: no obs, accessors all None. *)
+  let plain = E.run E.Ours (R.of_spec obs_spec) in
+  Alcotest.(check bool) "off: no obs" true (R.report_obs plain = None);
+  Alcotest.(check bool) "off: no histogram" true
+    (R.time_to_decision plain = None)
+
+(* A failing run is diagnosable: the deployed protocol under the
+   paper's flood never decides, and the stalled-phase reducer names
+   the phase its incomplete spans are stuck in.  A healthy run
+   diagnoses as None. *)
+let test_stalled_phase () =
+  let flood_spec =
+    (* Past the relay count where the flood defeats the deployed
+       protocol (the paper's Figure 10 failure point). *)
+    { obs_spec with
+      R.Spec.n_relays = 10_000;
+      attacks = Attack.Ddos.bandwidth_attack ~n:9 ();
+    }
+  in
+  let env = { (R.of_spec flood_spec) with R.telemetry = true } in
+  let report = E.run E.Current env in
+  Alcotest.(check bool) "flooded run fails" false report.R.success;
+  (match R.stalled_phase env report with
+  | None -> Alcotest.fail "failed run should name a stalled phase"
+  | Some phase ->
+      Alcotest.(check bool) "phase is non-empty" true (phase <> ""));
+  let healthy_env = { (R.of_spec obs_spec) with R.telemetry = true } in
+  let healthy = E.run E.Ours healthy_env in
+  Alcotest.(check bool) "healthy run: no stalled phase" true
+    (R.stalled_phase healthy_env healthy = None)
+
+let test_engine_profile_shape () =
+  let _, o = run_obs obs_spec E.Ours 2 in
+  Alcotest.(check int) "one entry per shard" 2 (List.length o.R.profile);
+  List.iteri
+    (fun i (s : Obs.Profiler.shard) ->
+      Alcotest.(check int) "shard order" i s.Obs.Profiler.shard;
+      Alcotest.(check bool) "ran rounds" true (s.Obs.Profiler.rounds > 0);
+      Alcotest.(check bool) "nonnegative busy" true (s.Obs.Profiler.busy_s >= 0.);
+      Alcotest.(check bool) "nonnegative wait" true (s.Obs.Profiler.wait_s >= 0.))
+    o.R.profile;
+  Alcotest.(check bool) "shards dispatched events" true
+    (List.for_all (fun (s : Obs.Profiler.shard) -> s.Obs.Profiler.events > 0)
+       o.R.profile)
+
+let suite =
+  [
+    ("histogram: bucketing and percentiles", `Quick, test_histogram_basics);
+    ("histogram: overlapping merge", `Quick, test_histogram_merge_overlapping);
+    ("registry: merge by name", `Quick, test_registry_merge);
+    ("trace-event: JSON export", `Quick, test_trace_event_json);
+    ("profiler: accumulation", `Quick, test_profiler_accumulates);
+    ("trace: iter matches records", `Quick, test_trace_iter_matches_records);
+    ("telemetry bit-identical (ours)", `Quick, test_obs_sharded_ours);
+    ("telemetry bit-identical (current)", `Quick, test_obs_sharded_current);
+    ("telemetry bit-identical (synchronous)", `Quick, test_obs_sharded_sync);
+    ("report: telemetry accessors", `Quick, test_report_accessors);
+    ("report: stalled-phase diagnosis", `Quick, test_stalled_phase);
+    ("engine profile: per-shard shape", `Quick, test_engine_profile_shape);
+  ]
