@@ -41,6 +41,7 @@ let drop_results : (string * int) list ref = ref []       (* messages dropped *)
 let obs_results : (string * jv) list ref = ref []         (* telemetry pass *)
 let dist_wall : (string * float) list ref = ref []        (* wall s *)
 let dist_metrics : (string * float) list ref = ref []     (* simulated metrics *)
+let campaign_results : (string * float) list ref = ref [] (* plans/s + speedup *)
 let target_times : (string * float) list ref = ref []     (* wall s *)
 
 let header title =
@@ -449,11 +450,13 @@ let macro () =
             (fun (s : Obs.Profiler.shard) ->
               let total = s.Obs.Profiler.busy_s +. s.Obs.Profiler.wait_s in
               Printf.printf
-                "%-28s shard %d: busy %7.3f s  wait %7.3f s  (%4.1f%% busy)\n"
+                "%-28s shard %d: busy %7.3f s  wait %7.3f s  (%4.1f%% busy)  \
+                 %d rounds  %d barriers\n"
                 name s.Obs.Profiler.shard s.Obs.Profiler.busy_s
                 s.Obs.Profiler.wait_s
                 (if total > 0. then 100. *. s.Obs.Profiler.busy_s /. total
-                 else 100.);
+                 else 100.)
+                s.Obs.Profiler.rounds s.Obs.Profiler.barriers;
               obs_results :=
                 !obs_results
                 @ [
@@ -461,6 +464,11 @@ let macro () =
                       F s.Obs.Profiler.busy_s );
                     ( Printf.sprintf "%s/shard%d-wait_s" name s.Obs.Profiler.shard,
                       F s.Obs.Profiler.wait_s );
+                    ( Printf.sprintf "%s/shard%d-rounds" name s.Obs.Profiler.shard,
+                      I s.Obs.Profiler.rounds );
+                    ( Printf.sprintf "%s/shard%d-barriers" name
+                        s.Obs.Profiler.shard,
+                      I s.Obs.Profiler.barriers );
                   ])
             o.Protocols.Runenv.profile;
           if shards = 1 then begin
@@ -487,6 +495,71 @@ let macro () =
               [ "proposal"; "agreement"; "document"; "cons-sig" ]
           end)
     [ 1; 2; 4; 8 ]
+
+(* --- campaign macro bench --------------------------------------------------- *)
+
+(* Amortized campaign evaluation: the same 200 chaos-sampled plans run
+   cold (every plan rebuilds votes, topology and simulator from its
+   spec — what a naive loop over [Experiments.run] costs) and warm
+   (one {!Exec.Campaign} context: shared votes, one resettable arena,
+   one spec-digest prefix).  The reports are checked identical before
+   any number is reported — amortization that changed results would be
+   a bug, not a speedup.  The warm plans/s lands in the JSON report
+   under [campaign_plans_per_s] and is regression-gated (inverted:
+   a halved throughput fails CI). *)
+let campaign () =
+  header "Campaign engine: 200 chaos plans, cold rebuild vs amortized arena";
+  campaign_results := [];
+  (* 4000 relays: large enough that per-plan reconstruction (dominated
+     by vote generation, which scales with the relay count) is the
+     honest bottleneck a cold campaign pays, while 200 warm plans stay
+     well under a minute. *)
+  let config =
+    {
+      Exec.Chaos.default_config with
+      Exec.Chaos.seed = "campaign-bench";
+      plans = 200;
+      n_relays = 4000;
+    }
+  in
+  let n_plans = config.Exec.Chaos.plans in
+  let base = Exec.Chaos.base_spec config in
+  let specs = List.init n_plans (fun index -> Exec.Chaos.sample_spec config ~index) in
+  let summary (r : Protocols.Runenv.report) =
+    ( r.Protocols.Runenv.success,
+      r.Protocols.Runenv.agreement,
+      r.Protocols.Runenv.decided_at_latest,
+      r.Protocols.Runenv.dropped )
+  in
+  let t0 = Unix.gettimeofday () in
+  let cold_reports =
+    List.map (fun spec -> summary (E.run E.Ours (Protocols.Runenv.of_spec spec))) specs
+  in
+  let cold_s = Unix.gettimeofday () -. t0 in
+  (* Warm timing includes the one-off sharing setup (vote generation,
+     context construction): that is the cost a real campaign pays. *)
+  let t0 = Unix.gettimeofday () in
+  let warm_reports =
+    Exec.Campaign.map ~base ~votes:(E.votes_for_spec base)
+      (fun ctx spec ->
+        summary (E.run E.Ours (Exec.Campaign.env_of ctx (Exec.Campaign.plan_of_spec spec))))
+      specs
+  in
+  let warm_s = Unix.gettimeofday () -. t0 in
+  if warm_reports <> cold_reports then
+    failwith "campaign: warm reports differ from cold reports";
+  let cold_rate = float_of_int n_plans /. cold_s in
+  let warm_rate = float_of_int n_plans /. warm_s in
+  let name = Printf.sprintf "campaign-chaos-%d" n_plans in
+  Printf.printf
+    "%-28s cold %7.2f s (%6.2f plans/s)\n%-28s warm %7.2f s (%6.2f plans/s)  %.2fx\n"
+    name cold_s cold_rate name warm_s warm_rate (cold_s /. warm_s);
+  campaign_results :=
+    [
+      (name ^ "/cold", cold_rate);
+      (name, warm_rate);
+      (name ^ "/speedup", cold_s /. warm_s);
+    ]
 
 (* --- distribution macro bench ---------------------------------------------- *)
 
@@ -584,6 +657,7 @@ let emit_json path =
   section "alloc_mb_per_run" (floats !alloc_results) ~last:false;
   section "macro_dropped_msgs" (ints !drop_results) ~last:false;
   section "obs_profile" !obs_results ~last:false;
+  section "campaign_plans_per_s" (floats !campaign_results) ~last:false;
   section "dist_wall_s" (floats !dist_wall) ~last:false;
   section "dist_metrics" (floats !dist_metrics) ~last:false;
   section "target_wall_s" (floats (List.rev !target_times)) ~last:true;
@@ -609,6 +683,7 @@ let targets =
     ("ablation", ablation);
     ("micro", micro);
     ("macro", macro);
+    ("campaign", campaign);
     ("dist", dist);
   ]
 

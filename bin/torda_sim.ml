@@ -478,7 +478,9 @@ let chaos_cmd =
         report.Exec.Chaos.verdicts;
       Printf.printf "chaos: %d plan(s), %d safety violation(s), %d liveness violation(s)\n"
         plans report.Exec.Chaos.safety_violations report.Exec.Chaos.liveness_violations;
-      Printf.eprintf "chaos: %d plan(s) on %d domain(s) in %.1f s\n%!" plans jobs elapsed;
+      Printf.eprintf "chaos: %d plan(s) on %d domain(s) in %.1f s (%.2f plans/s)\n%!"
+        plans jobs elapsed
+        (if elapsed > 0. then float_of_int plans /. elapsed else 0.);
       if report.Exec.Chaos.safety_violations > 0 then 1 else 0
     end
   in

@@ -93,34 +93,40 @@ let run protocol env =
 
 let all_protocols = [ Current; Synchronous; Ours ]
 
-(* Reuse one vote population per relay count across protocol and
-   bandwidth sweeps: vote generation dominates setup cost, and sharing
-   it also makes cross-protocol comparisons exact.  The generated
-   votes depend only on (seed, n, n_relays, valid_after, divergence),
-   all at their defaults here, so the cache never changes results —
-   and it is domain-safe, so parallel sweep workers share it too. *)
+(* Reuse one vote population across protocol and bandwidth sweeps —
+   and across sweep workers, seeds and campaign batches: vote
+   generation dominates setup cost, and sharing it also makes
+   cross-protocol comparisons exact.  The generated votes depend only
+   on (seed, n, n_relays, valid_after, divergence), so the cache is
+   keyed by exactly those fields (via the canonical spec digest of a
+   spec reduced to them) and never changes results.  It is
+   domain-safe, so parallel sweep workers share it too. *)
 let votes_cache : Dirdoc.Vote.t array Exec.Cache.t = Exec.Cache.create ()
 
-let votes_for ~n_relays =
-  Exec.Cache.find_or_compute votes_cache ~key:(string_of_int n_relays) (fun () ->
-      (Runenv.of_spec { Runenv.Spec.default with n_relays }).Runenv.votes)
+(* A spec carrying only the vote-relevant fields; everything else at
+   default so unrelated fields (attacks, horizon, bandwidth, ...)
+   cannot fragment the cache. *)
+let vote_spec (s : Runenv.Spec.t) =
+  {
+    Runenv.Spec.default with
+    Runenv.Spec.seed = s.Runenv.Spec.seed;
+    n = s.Runenv.Spec.n;
+    n_relays = s.Runenv.Spec.n_relays;
+    valid_after = s.Runenv.Spec.valid_after;
+    divergence = s.Runenv.Spec.divergence;
+  }
+
+let votes_for_spec (s : Runenv.Spec.t) =
+  let vs = vote_spec s in
+  Exec.Cache.find_or_compute votes_cache ~key:(Runenv.Spec.digest vs) (fun () ->
+      (Runenv.of_spec vs).Runenv.votes)
 
 let spec ?(attacks = []) ?(bandwidth_bits_per_sec = 250e6) ?(horizon = 7200.)
     ~n_relays () =
   { Runenv.Spec.default with n_relays; attacks; bandwidth_bits_per_sec; horizon }
 
 let env_of_spec (s : Runenv.Spec.t) =
-  (* The cache is keyed by relay count alone, so it only applies when
-     every other vote-relevant field is at its default (always true
-     for the figure sweeps; a custom-seed CLI sweep regenerates). *)
-  let d = Runenv.Spec.default in
-  if
-    s.Runenv.Spec.seed = d.Runenv.Spec.seed
-    && s.Runenv.Spec.n = d.Runenv.Spec.n
-    && s.Runenv.Spec.valid_after = d.Runenv.Spec.valid_after
-    && s.Runenv.Spec.divergence = d.Runenv.Spec.divergence
-  then Runenv.of_spec ~votes:(votes_for ~n_relays:s.Runenv.Spec.n_relays) s
-  else Runenv.of_spec s
+  Runenv.of_spec ~votes:(votes_for_spec s) s
 
 let env ?attacks ?bandwidth_bits_per_sec ?horizon ~n_relays () =
   env_of_spec (spec ?attacks ?bandwidth_bits_per_sec ?horizon ~n_relays ())

@@ -33,6 +33,16 @@ val run_job : ?jobs:int -> Exec.Job.t -> Exec.Job.outcome
     oversubscribe the host — the outcome is shard-count-invariant, so
     the memo key stays the requested spec. *)
 
+val votes_for_spec : Protocols.Runenv.Spec.t -> Dirdoc.Vote.t array
+(** The vote population [Runenv.of_spec] would generate for this spec,
+    from a process-wide domain-safe cache keyed by exactly the
+    vote-relevant spec fields (seed, n, n_relays, valid_after,
+    divergence) — unrelated fields (attacks, bandwidth, horizon, ...)
+    share the same entry.  Feed the result back through
+    [Runenv.of_spec ~votes] (as {!run_job} does internally) or
+    {!Exec.Campaign.map}'s [?votes] to skip vote generation, the
+    dominant setup cost of large-population runs. *)
+
 val run_jobs : ?jobs:int -> Exec.Job.t list -> Exec.Job.outcome list
 (** [run_jobs ~jobs l] maps {!run_job} over [l] on an [jobs]-domain
     {!Exec.Pool} (default 1 = sequential), preserving order.  Results

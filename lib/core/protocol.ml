@@ -33,6 +33,10 @@ type msg =
   | Cons_sig of { digest : Digest32.t; signature : Signature.t }
   | Cons_sig_request
 
+module Simulator = Runenv.Simulator (struct
+  type nonrec msg = msg
+end)
+
 let msg_size = function
   | Document { doc; _ } | Fetch_reply { doc; _ } ->
       Wire.vote_push_bytes ~n_relays:(Dirdoc.Vote.n_relays doc) + Signature.wire_size
@@ -68,18 +72,8 @@ let run_detailed ?(params = default_params) (env : Runenv.t) =
   let n = env.n in
   let f = Icps.fault_bound ~n in
   let need = Runenv.majority ~n in
-  let engine =
-    Sim.Engine.create
-      ~shards:(Runenv.effective_shards env)
-      ~nodes:n
-      ~lookahead:(Sim.Topology.min_latency env.topology)
-      ()
-  in
+  let engine, net = Simulator.obtain ~driver:name env in
   let trace = Sim.Trace.create ~lanes:(Sim.Engine.shard_count engine) () in
-  let net =
-    Sim.Net.create ~engine ~topology:env.topology
-      ~bits_per_sec:env.bandwidth_bits_per_sec ()
-  in
   Runenv.apply_attacks env net;
   let now () = Sim.Engine.now engine in
   let log ?node level fmt = Sim.Trace.logf trace ~time:(now ()) ?node level fmt in

@@ -212,9 +212,13 @@ let judge config ~plan ~behaviors ours =
     liveness_applicable,
     liveness_ok )
 
-let case_fails config ~votes ~run_protocol ~plan ~behaviors =
-  let spec = spec_of_case config ~plan ~behaviors in
-  let env = Runenv.of_spec ~votes spec in
+(* The campaign-variable projection of a chaos case: chaos never sets
+   attacks, so a case is entirely (behaviors, fault_plan). *)
+let campaign_plan config ~plan ~behaviors =
+  Campaign.plan_of_spec (spec_of_case config ~plan ~behaviors)
+
+let case_fails config ~ctx ~run_protocol ~plan ~behaviors =
+  let env = Campaign.env_of ctx (campaign_plan config ~plan ~behaviors) in
   let ours = report_of ~run_protocol Job.Ours env in
   let _, _, _, _, safety_ok, _, liveness_ok = judge config ~plan ~behaviors ours in
   not (safety_ok && liveness_ok)
@@ -223,7 +227,7 @@ let case_fails config ~votes ~run_protocol ~plan ~behaviors =
    fault or revert one misbehaving node to honest per step.  Each probe
    is a full deterministic re-run, so the result is a genuinely minimal
    (for this reduction order) failing spec. *)
-let shrink config ~votes ~run_protocol ~plan ~behaviors =
+let shrink config ~ctx ~run_protocol ~plan ~behaviors =
   let candidates (plan, behaviors) =
     let without_fault =
       List.mapi
@@ -248,7 +252,7 @@ let shrink config ~votes ~run_protocol ~plan ~behaviors =
   let rec go case =
     match
       List.find_opt
-        (fun (plan, behaviors) -> case_fails config ~votes ~run_protocol ~plan ~behaviors)
+        (fun (plan, behaviors) -> case_fails config ~ctx ~run_protocol ~plan ~behaviors)
         (candidates case)
     with
     | Some smaller -> go smaller
@@ -257,10 +261,10 @@ let shrink config ~votes ~run_protocol ~plan ~behaviors =
   let plan, behaviors = go (plan, behaviors) in
   spec_of_case config ~plan ~behaviors
 
-let verdict_of_case config ~votes ~run_protocol ~index =
+let verdict_of_case config ~ctx ~run_protocol ~index =
   let plan, behaviors = sample_case config ~index in
-  let spec = spec_of_case config ~plan ~behaviors in
-  let env = Runenv.of_spec ~votes spec in
+  let cplan = campaign_plan config ~plan ~behaviors in
+  let env = Campaign.env_of ctx cplan in
   let reports =
     List.map
       (fun p -> report_of ~run_protocol p env)
@@ -293,13 +297,13 @@ let verdict_of_case config ~votes ~run_protocol ~index =
   in
   let shrunk =
     if safety_ok && liveness_ok then None
-    else Some (shrink config ~votes ~run_protocol ~plan ~behaviors)
+    else Some (shrink config ~ctx ~run_protocol ~plan ~behaviors)
   in
   {
     index;
-    spec_digest = Runenv.Spec.digest spec;
+    spec_digest = Campaign.digest ctx cplan;
     plan;
-    behaviors = spec.Runenv.Spec.behaviors;
+    behaviors = cplan.Campaign.behaviors;
     node_faults;
     permanent_faults;
     faults_clear_at;
@@ -316,11 +320,14 @@ let check ?(config = default_config) ~run_protocol ~jobs () =
   if config.plans < 0 then invalid_arg "Chaos.check: negative plan count";
   (* The vote population depends only on (seed, n, n_relays,
      valid_after, divergence) — identical across cases — so generate it
-     once and share it with every worker. *)
-  let votes = (Runenv.of_spec (base_spec config)).Runenv.votes in
+     once and share it (immutable) with every campaign worker; each
+     worker's context then reuses one simulator arena and one
+     spec-digest prefix across all its cases. *)
+  let base = base_spec config in
+  let votes = (Runenv.of_spec base).Runenv.votes in
   let verdicts =
-    Pool.map ~jobs
-      (fun index -> verdict_of_case config ~votes ~run_protocol ~index)
+    Campaign.map ~jobs ~votes ~base
+      (fun ctx index -> verdict_of_case config ~ctx ~run_protocol ~index)
       (List.init config.plans Fun.id)
   in
   let count p = List.length (List.filter p verdicts) in

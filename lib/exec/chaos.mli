@@ -42,6 +42,12 @@ val default_config : config
 val fault_bound : n:int -> int
 (** ⌊(n−1)/3⌋ — the BFT tolerance the invariants are scoped to. *)
 
+val base_spec : config -> Protocols.Runenv.Spec.t
+(** The run spec every chaos case of this configuration is a variation
+    of: the config's population/bandwidth/horizon with no behaviors
+    and no fault plan — the campaign base the harness (and the bench)
+    hand to {!Campaign.map}. *)
+
 val sample_spec : config -> index:int -> Protocols.Runenv.Spec.t
 (** The [index]-th chaos case of a configuration: a run spec whose
     [behaviors] and [fault_plan] come from the case's own RNG stream.

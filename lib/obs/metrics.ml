@@ -66,6 +66,13 @@ let percentile h q =
     Float.min (Float.max upper h.agg.(agg_min)) h.agg.(agg_max)
   end
 
+let histogram_reset h =
+  Array.fill h.buckets 0 n_buckets 0;
+  h.n <- 0;
+  h.agg.(agg_sum) <- 0.;
+  h.agg.(agg_min) <- infinity;
+  h.agg.(agg_max) <- neg_infinity
+
 let merge_histogram ~into src =
   for i = 0 to n_buckets - 1 do
     into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)

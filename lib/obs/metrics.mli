@@ -74,6 +74,12 @@ val percentile : histogram -> float -> float
     quantile (the upper edge of the bucket holding it, clamped to the
     exact observed min/max).  [nan] when empty. *)
 
+val histogram_reset : histogram -> unit
+(** [histogram_reset h] zeroes every bucket and the exact aggregates,
+    making [h] indistinguishable from a fresh {!histogram_create}
+    without reallocating the bucket array.  Part of the simulator-arena
+    reset path. *)
+
 val merge_histogram : into:histogram -> histogram -> unit
 (** Bucket-wise sum plus count/sum/min/max combination; [src] is not
     modified.  Merging is commutative and associative. *)

@@ -2,6 +2,7 @@ type t = {
   busy : float array;
   wait : float array;
   rounds : int array;
+  barriers : int array;
   events : int array;
 }
 
@@ -10,6 +11,7 @@ let create ~shards =
   { busy = Array.make shards 0.;
     wait = Array.make shards 0.;
     rounds = Array.make shards 0;
+    barriers = Array.make shards 0;
     events = Array.make shards 0 }
 
 let now () = Unix.gettimeofday ()
@@ -18,12 +20,14 @@ let add_busy t shard dt = t.busy.(shard) <- t.busy.(shard) +. dt
 let add_wait t shard dt = t.wait.(shard) <- t.wait.(shard) +. dt
 let add_events t shard n = t.events.(shard) <- t.events.(shard) + n
 let incr_rounds t shard = t.rounds.(shard) <- t.rounds.(shard) + 1
+let add_barriers t shard n = t.barriers.(shard) <- t.barriers.(shard) + n
 
 type shard = {
   shard : int;
   busy_s : float;
   wait_s : float;
   rounds : int;
+  barriers : int;
   events : int;
 }
 
@@ -33,4 +37,5 @@ let report t =
         busy_s = t.busy.(i);
         wait_s = t.wait.(i);
         rounds = t.rounds.(i);
+        barriers = t.barriers.(i);
         events = t.events.(i) })

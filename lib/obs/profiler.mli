@@ -23,11 +23,18 @@ val add_wait : t -> int -> float -> unit
 val add_events : t -> int -> int -> unit
 val incr_rounds : t -> int -> unit
 
+val add_barriers : t -> int -> int -> unit
+(** Count barrier crossings separately from rounds: a round that skips
+    ahead (solo-shard fast path) still crosses its two barriers, so the
+    two counters together say whether a flat scaling curve is
+    barrier-bound or compute-bound. *)
+
 type shard = {
   shard : int;
   busy_s : float;
   wait_s : float;
   rounds : int;
+  barriers : int;
   events : int;
 }
 

@@ -30,21 +30,15 @@ let msg_size = function
   | Sig_push _ -> Wire.signature_bytes + Wire.control_bytes
   | Sig_request -> Wire.request_bytes
 
+module Simulator = Runenv.Simulator (struct
+  type nonrec msg = msg
+end)
+
 let run (env : Runenv.t) =
   let n = env.n in
   let need = Runenv.majority ~n in
-  let engine =
-    Sim.Engine.create
-      ~shards:(Runenv.effective_shards env)
-      ~nodes:n
-      ~lookahead:(Sim.Topology.min_latency env.topology)
-      ()
-  in
+  let engine, net = Simulator.obtain ~driver:name env in
   let trace = Sim.Trace.create ~lanes:(Sim.Engine.shard_count engine) () in
-  let net =
-    Sim.Net.create ~engine ~topology:env.topology
-      ~bits_per_sec:env.bandwidth_bits_per_sec ()
-  in
   Runenv.apply_attacks env net;
   let nodes =
     Array.init n (fun id ->

@@ -13,6 +13,21 @@ type behavior =
   | Equivocating
   | Crashed of { start : Sim.Simtime.t; stop : Sim.Simtime.t }
 
+(* A bag of reusable simulator instances, one slot per driver name.
+   The slot payload is an extensible variant because each driver's
+   network is monomorphic in its own message type; the driver that
+   stashed a slot is the only one that can match it back out. *)
+module Arena = struct
+  type slot = ..
+  type t = { mutable slots : (string * slot) list }
+
+  let create () = { slots = [] }
+  let find t driver = List.assoc_opt driver t.slots
+
+  let set t driver slot =
+    t.slots <- (driver, slot) :: List.remove_assoc driver t.slots
+end
+
 type t = {
   n : int;
   keyring : Crypto.Keyring.t;
@@ -28,6 +43,8 @@ type t = {
   shards : int;
   telemetry : bool;
       (* record spans/histograms/profile; NOT part of Spec (see mli) *)
+  arena : Arena.t option;
+      (* reusable simulator instances; NOT part of Spec (see mli) *)
 }
 
 let awake t id ~now =
@@ -81,31 +98,33 @@ module Spec = struct
 
   (* Canonical serialization for job keying.  Floats are printed with
      %h (hex, lossless) so equal specs always serialize identically
-     and nothing depends on printf rounding. *)
-  let canonical t =
-    let buf = Buffer.create 256 in
-    let f x = Buffer.add_string buf (Printf.sprintf "%h;" x) in
-    let s x =
-      Buffer.add_string buf (string_of_int (String.length x));
-      Buffer.add_char buf ':';
-      Buffer.add_string buf x;
-      Buffer.add_char buf ';'
-    in
-    let i x = Buffer.add_string buf (Printf.sprintf "%d;" x) in
-    s t.seed;
-    f t.valid_after;
-    i t.n;
-    i t.n_relays;
-    f t.bandwidth_bits_per_sec;
-    i (List.length t.attacks);
+     and nothing depends on printf rounding.  The field encoders are
+     split out so {!prefix}/{!canonical_with} can reassemble the same
+     byte sequence from precomputed invariant chunks plus freshly
+     encoded campaign-variable fields — [canonical] and
+     [canonical_with] MUST stay byte-identical (a test pins it). *)
+  let add_f buf x = Buffer.add_string buf (Printf.sprintf "%h;" x)
+
+  let add_s buf x =
+    Buffer.add_string buf (string_of_int (String.length x));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf x;
+    Buffer.add_char buf ';'
+
+  let add_i buf x = Buffer.add_string buf (Printf.sprintf "%d;" x)
+
+  let add_attacks buf attacks =
+    add_i buf (List.length attacks);
     List.iter
       (fun a ->
-        i a.node;
-        f a.start;
-        f a.stop;
-        f a.bits_per_sec)
-      t.attacks;
-    (match t.behaviors with
+        add_i buf a.node;
+        add_f buf a.start;
+        add_f buf a.stop;
+        add_f buf a.bits_per_sec)
+      attacks
+
+  let add_behaviors buf behaviors =
+    match behaviors with
     | None -> Buffer.add_string buf "default;"
     | Some b ->
         Array.iter
@@ -116,31 +135,108 @@ module Spec = struct
             | Equivocating -> Buffer.add_char buf 'e'
             | Crashed { start; stop } ->
                 Buffer.add_char buf 'c';
-                f start;
-                f stop)
+                add_f buf start;
+                add_f buf stop)
           b;
-        Buffer.add_char buf ';');
-    (match t.divergence with
+        Buffer.add_char buf ';'
+
+  let add_fault_plan buf fault_plan =
+    match fault_plan with
+    | None -> Buffer.add_string buf "default;"
+    | Some plan -> add_s buf (Sim.Fault.canonical plan)
+
+  let add_head buf t =
+    add_s buf t.seed;
+    add_f buf t.valid_after;
+    add_i buf t.n;
+    add_i buf t.n_relays;
+    add_f buf t.bandwidth_bits_per_sec
+
+  let add_divergence buf t =
+    match t.divergence with
     | None -> Buffer.add_string buf "default;"
     | Some d ->
-        f d.Dirdoc.Workload.missing_prob;
-        f d.Dirdoc.Workload.bw_jitter;
-        f d.Dirdoc.Workload.flag_flip_prob;
-        f d.Dirdoc.Workload.unmeasured_prob);
-    (match t.fault_plan with
-    | None -> Buffer.add_string buf "default;"
-    | Some plan -> s (Sim.Fault.canonical plan));
+        add_f buf d.Dirdoc.Workload.missing_prob;
+        add_f buf d.Dirdoc.Workload.bw_jitter;
+        add_f buf d.Dirdoc.Workload.flag_flip_prob;
+        add_f buf d.Dirdoc.Workload.unmeasured_prob
+
+  let add_tail buf t =
     (match t.distribution with
     | None -> Buffer.add_string buf "default;"
-    | Some d -> s (Torclient.Distribution.canonical_config d));
-    f t.horizon;
-    i t.shards;
+    | Some d -> add_s buf (Torclient.Distribution.canonical_config d));
+    add_f buf t.horizon;
+    add_i buf t.shards
+
+  let canonical t =
+    let buf = Buffer.create 256 in
+    add_head buf t;
+    add_attacks buf t.attacks;
+    add_behaviors buf t.behaviors;
+    add_divergence buf t;
+    add_fault_plan buf t.fault_plan;
+    add_tail buf t;
     Buffer.contents buf
 
   let digest t = Crypto.Digest32.hex (Crypto.Digest32.of_string (canonical t))
 
   let rng t = Sim.Rng.of_string_seed (digest t)
+
+  (* The invariant chunks of {!canonical}, precomputed once per
+     campaign.  The three campaign-variable fields (attacks, behaviors,
+     fault_plan) interleave between them in field order: head ·
+     attacks · behaviors · mid(divergence) · fault_plan · tail. *)
+  type prefix = { head : string; mid : string; tail : string }
+
+  let prefix t =
+    let render f =
+      let buf = Buffer.create 64 in
+      f buf t;
+      Buffer.contents buf
+    in
+    { head = render add_head; mid = render add_divergence; tail = render add_tail }
+
+  let canonical_with p ~attacks ~behaviors ~fault_plan =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf p.head;
+    add_attacks buf attacks;
+    add_behaviors buf behaviors;
+    Buffer.add_string buf p.mid;
+    add_fault_plan buf fault_plan;
+    Buffer.add_string buf p.tail;
+    Buffer.contents buf
+
+  let digest_with p ~attacks ~behaviors ~fault_plan =
+    Crypto.Digest32.hex
+      (Crypto.Digest32.of_string (canonical_with p ~attacks ~behaviors ~fault_plan))
 end
+
+(* Validation of the campaign-variable fields, shared between
+   [of_spec] and [vary] so a plan streamed through an arena is held to
+   exactly the checks a cold [of_spec] would apply. *)
+let checked_behaviors ~who ~n behaviors =
+  match behaviors with
+  | Some b ->
+      if Array.length b <> n then
+        invalid_arg (who ^ ": behaviors length mismatch");
+      Array.iter
+        (function
+          | Crashed { start; stop } when stop < start ->
+              invalid_arg (who ^ ": crash window stops before it starts")
+          | _ -> ())
+        b;
+      b
+  | None -> Array.make n Honest
+
+let check_variation ~who ~n ~attacks ~fault_plan =
+  Option.iter (fun plan -> Sim.Fault.validate ~n plan) fault_plan;
+  List.iter
+    (fun a ->
+      if a.node < 0 || a.node >= n then
+        invalid_arg (who ^ ": attack node out of range");
+      if a.stop < a.start then invalid_arg (who ^ ": attack stops before it starts");
+      if a.bits_per_sec < 0. then invalid_arg (who ^ ": negative residual bandwidth"))
+    attacks
 
 let of_spec ?votes (spec : Spec.t) =
   let { Spec.seed; valid_after; n; n_relays; bandwidth_bits_per_sec; attacks;
@@ -158,28 +254,8 @@ let of_spec ?votes (spec : Spec.t) =
         Dirdoc.Workload.votes ~rng ?divergence ~keyring ~n_authorities:n ~n_relays
           ~valid_after ()
   in
-  let behaviors =
-    match behaviors with
-    | Some b ->
-        if Array.length b <> n then
-          invalid_arg "Runenv.of_spec: behaviors length mismatch";
-        Array.iter
-          (function
-            | Crashed { start; stop } when stop < start ->
-                invalid_arg "Runenv.of_spec: crash window stops before it starts"
-            | _ -> ())
-          b;
-        b
-    | None -> Array.make n Honest
-  in
-  Option.iter (fun plan -> Sim.Fault.validate ~n plan) fault_plan;
-  List.iter
-    (fun a ->
-      if a.node < 0 || a.node >= n then
-        invalid_arg "Runenv.of_spec: attack node out of range";
-      if a.stop < a.start then invalid_arg "Runenv.of_spec: attack stops before it starts";
-      if a.bits_per_sec < 0. then invalid_arg "Runenv.of_spec: negative residual bandwidth")
-    attacks;
+  let behaviors = checked_behaviors ~who:"Runenv.of_spec" ~n behaviors in
+  check_variation ~who:"Runenv.of_spec" ~n ~attacks ~fault_plan;
   Option.iter Torclient.Distribution.validate_config distribution;
   {
     n;
@@ -195,7 +271,13 @@ let of_spec ?votes (spec : Spec.t) =
     horizon;
     shards;
     telemetry = false;
+    arena = None;
   }
+
+let vary env ~attacks ~behaviors ~fault_plan =
+  let behaviors = checked_behaviors ~who:"Runenv.vary" ~n:env.n behaviors in
+  check_variation ~who:"Runenv.vary" ~n:env.n ~attacks ~fault_plan;
+  { env with attacks; behaviors; fault_plan }
 
 (* The shard count the engine will actually run: sharding needs at
    least two nodes and a positive finite cross-node lookahead (the
@@ -206,6 +288,65 @@ let effective_shards env =
   if env.shards <= 1 || env.n < 2 then 1
   else if not (lookahead > 0.) || Sim.Simtime.is_infinite lookahead then 1
   else min env.shards env.n
+
+(* Engine+network acquisition shared by the protocol drivers: build a
+   fresh simulator, or — when the environment carries an arena — reuse
+   the one stashed under the driver's name, reset on acquisition.
+   Resetting on the way in (not the way out) means an arena left dirty
+   by an exception self-heals on the next use.  A slot is only reused
+   when everything baked into engine/net construction matches:
+   dimension, the identical topology (campaign runs share one base
+   environment, so physical equality is the campaign invariant), base
+   bandwidth and effective shard count; anything else rebuilds and
+   replaces the slot. *)
+module Simulator (M : sig
+  type msg
+end) =
+struct
+  type state = {
+    engine : Sim.Engine.t;
+    net : M.msg Sim.Net.t;
+    s_n : int;
+    s_topology : Sim.Topology.t;
+    s_bits : float;
+    s_shards : int;
+  }
+
+  type Arena.slot += Slot of state
+
+  let build env =
+    let shards = effective_shards env in
+    let engine =
+      Sim.Engine.create ~shards ~nodes:env.n
+        ~lookahead:(Sim.Topology.min_latency env.topology) ()
+    in
+    let net =
+      Sim.Net.create ~engine ~topology:env.topology
+        ~bits_per_sec:env.bandwidth_bits_per_sec ()
+    in
+    { engine; net; s_n = env.n; s_topology = env.topology;
+      s_bits = env.bandwidth_bits_per_sec; s_shards = shards }
+
+  let obtain ~driver env =
+    match env.arena with
+    | None ->
+        let s = build env in
+        (s.engine, s.net)
+    | Some arena -> (
+        match Arena.find arena driver with
+        | Some (Slot s)
+          when s.s_n = env.n
+               && s.s_topology == env.topology
+               && s.s_bits = env.bandwidth_bits_per_sec
+               && s.s_shards = effective_shards env ->
+            Sim.Engine.reset s.engine;
+            Sim.Net.reset s.net;
+            (s.engine, s.net)
+        | _ ->
+            let s = build env in
+            Arena.set arena driver (Slot s);
+            (s.engine, s.net))
+end
 
 type authority_result = {
   consensus : Dirdoc.Consensus.t option;

@@ -22,6 +22,22 @@ type behavior =
           {!Tor_sim.Fault.Crash} entry) and the protocol drivers defer
           a node crashed at time 0 until its recovery instant. *)
 
+(** A bag of reusable simulator instances keyed by driver name, shared
+    across the runs of a campaign (DESIGN.md §12).  The slot type is
+    extensible because each driver's network is monomorphic in its own
+    message type; drivers stash and recover their slots through
+    {!module-Simulator}. *)
+module Arena : sig
+  type slot = ..
+  type t
+
+  val create : unit -> t
+  val find : t -> string -> slot option
+
+  val set : t -> string -> slot -> unit
+  (** Replace any existing slot under the same name. *)
+end
+
 type t = {
   n : int;
   keyring : Crypto.Keyring.t;
@@ -47,6 +63,14 @@ type t = {
           unlike [shards] it is deliberately NOT part of {!Spec.t}, so
           flipping it cannot invalidate existing spec digests; enable
           it with a record update: [{ env with Runenv.telemetry = true }]. *)
+  arena : Arena.t option;
+      (** reusable simulator instances for campaign evaluation.  Like
+          [telemetry], NOT part of {!Spec.t}: reusing an arena never
+          changes simulation outcomes (a test pins reports
+          bit-identical fresh vs reused), it only skips reconstruction.
+          [None] (the default from {!of_spec}) rebuilds the simulator
+          per run; [Exec.Campaign] installs one arena per worker
+          domain.  An arena must never be shared across domains. *)
 }
 
 val awake : t -> int -> now:Tor_sim.Simtime.t -> bool
@@ -109,6 +133,33 @@ module Spec : sig
   (** A deterministic per-spec RNG seeded from {!digest}, for
       job-level auxiliary randomness that must not depend on worker
       count or scheduling order. *)
+
+  type prefix
+  (** The precomputed invariant chunks of {!canonical} for a campaign:
+      everything except the three campaign-variable fields (attacks,
+      behaviors, fault_plan). *)
+
+  val prefix : t -> prefix
+  (** Compute the invariant chunks once; {!digest_with} then reuses
+      them for every plan in the batch. *)
+
+  val canonical_with :
+    prefix ->
+    attacks:attack list ->
+    behaviors:behavior array option ->
+    fault_plan:Tor_sim.Fault.plan option ->
+    string
+  (** Byte-identical to {!canonical} of the spec assembled from the
+      prefix's base and the given variable fields (a test pins it). *)
+
+  val digest_with :
+    prefix ->
+    attacks:attack list ->
+    behaviors:behavior array option ->
+    fault_plan:Tor_sim.Fault.plan option ->
+    string
+  (** [digest] of {!canonical_with} — the per-plan job key, without
+      re-serializing the invariant fields. *)
 end
 
 val of_spec : ?votes:Dirdoc.Vote.t array -> Spec.t -> t
@@ -120,12 +171,41 @@ val of_spec : ?votes:Dirdoc.Vote.t array -> Spec.t -> t
     been generated).  Raises [Invalid_argument] on inconsistent
     array lengths or malformed attack windows. *)
 
+val vary :
+  t ->
+  attacks:attack list ->
+  behaviors:behavior array option ->
+  fault_plan:Tor_sim.Fault.plan option ->
+  t
+(** [vary env ~attacks ~behaviors ~fault_plan] is [env] with the three
+    campaign-variable fields replaced, validated exactly as {!of_spec}
+    validates them ([None] behaviors means all honest).  Everything
+    expensive — keyring, topology, votes — is shared with [env].
+    Raises [Invalid_argument] on the same malformed inputs {!of_spec}
+    rejects. *)
+
 val effective_shards : t -> int
 (** The shard count the engine will actually use for this environment:
     [1] unless [shards > 1], [n >= 2], and the topology's
     {!Tor_sim.Topology.min_latency} is positive and finite (the
     conservative lookahead needs a real lower bound), and never more
     than [n]. *)
+
+(** Per-driver engine+network acquisition, arena-aware.  Each protocol
+    driver instantiates this once with its message type and calls
+    {!Simulator.obtain} where it used to build the simulator by hand:
+    without an arena that is exactly what [obtain] does; with one, the
+    slot stashed under the driver's name is reset
+    ({!Tor_sim.Engine.reset} + {!Tor_sim.Net.reset}) and reused when
+    its construction parameters (n, the identical topology, base
+    bandwidth, effective shard count) match, and rebuilt-and-replaced
+    otherwise.  Reset happens on acquisition, so an arena left dirty by
+    a raised exception is safe to reuse. *)
+module Simulator (M : sig
+  type msg
+end) : sig
+  val obtain : driver:string -> t -> Tor_sim.Engine.t * M.msg Tor_sim.Net.t
+end
 
 (** Outcome of one authority at the end of a run. *)
 type authority_result = {

@@ -76,6 +76,7 @@ type shard = {
   mutable n_cells : int;
   mutable free_head : int;
   mutable cur_owner : int; (* owner of the executing event; -1 outside *)
+  mutable limit : Simtime.t; (* this round's exclusive pop horizon *)
 }
 
 type t = {
@@ -100,6 +101,7 @@ let fresh_shard () =
     n_cells = 0;
     free_head = -1;
     cur_owner = -1;
+    limit = Simtime.never;
   }
 
 let create ?(shards = 1) ?(nodes = 0) ?(lookahead = Simtime.never) () =
@@ -138,6 +140,20 @@ let shard_of_node t owner =
 
 let now t = t.shards.(current_shard t).clock
 let set_round_hook t f = t.round_hook <- f
+
+(* Cross-shard mail feedback bound, called by [Net] when the executing
+   shard queues mail for another shard.  Any reply chain triggered by
+   that mail needs at least one more hop, so nothing it causes can land
+   before [arrival + lookahead]; clamping the round's pop horizon to
+   that keeps the solo-shard fast path below sound.  For an event
+   executing at [ts], [arrival >= ts + lookahead] gives a clamp of at
+   least [ts + 2*lookahead] — beyond the standard window and strictly
+   after every event already executed, so the clamp only ever trims the
+   solo extension, never an ordinary round. *)
+let note_send t ~arrival =
+  let sh = t.shards.(current_shard t) in
+  let fb = Simtime.add arrival t.lookahead in
+  if fb < sh.limit then sh.limit <- fb
 
 let enable_profiler t =
   match t.profiler with
@@ -377,6 +393,7 @@ let run_multi ?until t =
         let t0 = Obs.Profiler.now () in
         let ok = Barrier.wait barrier in
         Obs.Profiler.add_wait p d (Obs.Profiler.now () -. t0);
+        Obs.Profiler.add_barriers p d 1;
         ok
   in
   let worker d =
@@ -411,9 +428,36 @@ let run_multi ?until t =
                 other shards alone lets the globally-min shard run
                 ahead and receive a reply in its own past. *)
              let strict = Simtime.add !gmin t.lookahead in
+             (* Solo-shard fast path: when this shard alone holds the
+                global minimum and every other bound already clears the
+                standard window, no other shard pops this round, so the
+                baseline would spend round after round advancing only
+                this shard one lookahead window at a time.  Jump
+                straight to the next global minimum instead: run to
+                [gother + lookahead], the horizon the final such round
+                would have granted.  The only hazard is feedback
+                through this shard's own sends — [note_send] clamps
+                [sh.limit] to [arrival + lookahead] as mail is queued,
+                so a reply can never land at or before anything
+                executed here (a send from an event at [ts] clamps to
+                [>= ts + 2*lookahead]).  Other shards still pop
+                nothing (their heads are at or beyond [gother], their
+                horizon stays [strict]), so barrier parity holds and
+                the per-shard execution order — hence the result — is
+                bit-identical to the baseline rounds. *)
+             let gother = ref Simtime.never in
+             for j = 0 to s - 1 do
+               if j <> d && lbs.(j) < !gother then gother := lbs.(j)
+             done;
+             sh.limit <-
+               (if lbs.(d) = !gmin && !gother >= strict then
+                  if Simtime.is_infinite !gother then Simtime.never
+                  else Simtime.add !gother t.lookahead
+                else strict);
              let rec pops n =
                let idx =
-                 Event_queue.pop_if_within sh.queue ~strict ~le:cap ~default:(-1)
+                 Event_queue.pop_if_within sh.queue ~strict:sh.limit ~le:cap
+                   ~default:(-1)
                in
                if idx >= 0 then begin
                  dispatch t sh idx;
@@ -463,3 +507,33 @@ let run ?until t =
 
 let pending t =
   Array.fold_left (fun acc sh -> acc + Event_queue.size sh.queue) 0 t.shards
+
+(* Arena reset: back to the state [create] left, in O(pool size), with
+   every array kept at its high-water capacity.  Registered callbacks
+   and the round hook survive — they are wiring installed once per
+   [Net], not per run — and the generation bump on every cell makes any
+   handle from before the reset stale, so a leftover [cancel] stays a
+   no-op.  The rebuilt free lists hand cells out in index order, the
+   same order a fresh engine allocates them. *)
+let reset t =
+  if t.running_multi then invalid_arg "Engine.reset: run in progress";
+  Array.iter
+    (fun sh ->
+      sh.clock <- Simtime.zero;
+      Event_queue.clear sh.queue;
+      for i = 0 to sh.n_cells - 1 do
+        let c = sh.cells.(i) in
+        c.gen <- c.gen + 1;
+        c.state <- st_free;
+        c.kind <- -1;
+        c.arg <- 0;
+        c.owner <- -1;
+        c.action <- nop;
+        c.next_free <- (if i + 1 < sh.n_cells then i + 1 else -1)
+      done;
+      sh.free_head <- (if sh.n_cells > 0 then 0 else -1);
+      sh.cur_owner <- -1;
+      sh.limit <- Simtime.never)
+    t.shards;
+  Array.fill t.counters 0 (Array.length t.counters) 0;
+  t.profiler <- None

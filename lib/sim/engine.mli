@@ -120,6 +120,25 @@ val pending : t -> int
 (** Number of events still queued (including cancelled husks), summed
     over shards. *)
 
+val reset : t -> unit
+(** [reset t] returns the engine to the state {!create} left it in —
+    clocks at zero, queues empty, every cell free, creator counters
+    zeroed, profiler detached — while keeping cell pools, queue arrays
+    and registered callbacks (plus the round hook) allocated and
+    installed, so a long campaign reuses one engine instead of
+    rebuilding it per run.  O(pool size), allocation-free.  Handles and
+    keys from before the reset are stale; cancelling one is a no-op.
+    Raises [Invalid_argument] during a sharded run. *)
+
+val note_send : t -> arrival:Simtime.t -> unit
+(** [note_send t ~arrival] tells the engine the executing shard just
+    queued cross-shard mail arriving at [arrival].  {!Net} calls this
+    on every mailbox push; the sharded run uses it to bound the
+    solo-shard fast path (a shard running alone may advance to the next
+    global minimum plus lookahead, clamped to [arrival + lookahead] so
+    feedback through its own sends can never land in its executed
+    past).  A no-op outside a sharded run. *)
+
 (** {1 Telemetry} *)
 
 val enable_profiler : t -> unit

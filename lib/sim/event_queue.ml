@@ -137,3 +137,11 @@ let pop_if_within q ~strict ~le ~default =
 let peek_time q = if q.size = 0 then None else Some q.times.(0)
 let size q = q.size
 let is_empty q = q.size = 0
+
+(* O(1) reuse: drop the live prefix and restart the tie-break counter.
+   The payload array deliberately keeps its stale entries — callers
+   whose payloads are heap values and who care about retention should
+   pop the queue dry instead. *)
+let clear q =
+  q.size <- 0;
+  q.next_seq <- 0

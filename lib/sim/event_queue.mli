@@ -52,3 +52,10 @@ val peek_time : 'a t -> Simtime.t option
 
 val size : 'a t -> int
 val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** [clear q] empties the queue in O(1), keeping the arrays at their
+    high-water capacity and restarting the insertion tie-break counter,
+    so a cleared queue behaves exactly like a fresh one.  The payload
+    array retains whatever values it held; callers recycling queues of
+    heap payloads should drain with {!pop} if retention matters. *)

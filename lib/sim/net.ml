@@ -88,16 +88,15 @@ let engine t = t.engine
 let shards t = Array.length t.pools
 
 let stats t =
-  if shards t = 1 then t.pools.(0).p_stats
-  else begin
-    (* Merged snapshot: intern in the shared order first so the ids are
-       stable, then sum the shards.  Counters are order-insensitive
-       sums, so the snapshot equals the single-shard instance. *)
-    let m = Stats.create ~n:(n t) in
-    List.iter (fun name -> ignore (Stats.intern m name)) (List.rev t.interned);
-    Array.iter (fun p -> Stats.merge_into ~into:m p.p_stats) t.pools;
-    m
-  end
+  (* Merged snapshot: intern in the shared order first so the ids are
+     stable, then sum the shards.  Counters are order-insensitive sums,
+     so the snapshot equals what a single live instance would hold.
+     Always a copy — even at one shard — so a report outlives any
+     {!reset} of the network that produced it. *)
+  let m = Stats.create ~n:(n t) in
+  List.iter (fun name -> ignore (Stats.intern m name)) (List.rev t.interned);
+  Array.iter (fun p -> Stats.merge_into ~into:m p.p_stats) t.pools;
+  m
 
 let ensure_lat t =
   let nlabels = List.length t.interned in
@@ -369,7 +368,7 @@ let send_msg t ~src ~dst ~size ~label ~deadline msg =
       p.fl_deadline.(fl) <- deadline;
       ignore (Engine.schedule_call t.engine ~owner:dst ~at (the_trampoline t) fl)
     end
-    else
+    else begin
       (* Another shard's node: allocate the tie-break key here, where
          it is sharding-invariant, and let the destination shard
          schedule the event when it drains its mailbox. *)
@@ -386,7 +385,11 @@ let send_msg t ~src ~dst ~size ~label ~deadline msg =
           m_arrival = at;
           m_key = Engine.alloc_key t.engine;
         }
-        t.outboxes.((cur * shards t) + dst_shard)
+        t.outboxes.((cur * shards t) + dst_shard);
+      (* Feedback bound for the engine's solo-shard fast path: nothing
+         this mail can cause lands before [at + lookahead]. *)
+      Engine.note_send t.engine ~arrival:at
+    end
   in
   if (match t.fault with Some fa -> Fault.crashed fa ~node:src ~now | None -> false)
   then
@@ -449,6 +452,29 @@ let broadcast t ~src ~size ?label ?deadline msg =
 let limit_node t ~node ~start ~stop ~bits_per_sec =
   check_node t node "limit_node";
   Nic.limit_window t.nics.(node) ~start ~stop ~bits_per_sec
+
+(* Arena reset: statistics zeroed (interned labels survive, so a driver
+   re-interning the same names gets the same dense ids), flight pools
+   and mailboxes emptied, NIC schedules dropped, fault injector and
+   handler detached, telemetry off with its histograms zeroed.  The
+   trampoline callback and the engine round hook stay installed — they
+   are per-network wiring, registered once in [create].  Everything
+   keeps its high-water capacity. *)
+let reset t =
+  Array.iter
+    (fun p ->
+      Stats.reset p.p_stats;
+      for i = 0 to p.fl_len - 1 do
+        p.fl_next.(i) <- (if i + 1 < p.fl_len then i + 1 else -1)
+      done;
+      p.fl_free <- (if p.fl_len > 0 then 0 else -1))
+    t.pools;
+  Array.iter Queue.clear t.outboxes;
+  Array.iter Nic.reset t.nics;
+  t.fault <- None;
+  t.handler <- None;
+  t.obs_on <- false;
+  Array.iter (fun row -> Array.iter Obs.Metrics.histogram_reset row) t.lat
 
 (* Periodic telemetry probes, one recurring event per node.  Each probe
    samples the node's NIC backlog (drain time of everything already

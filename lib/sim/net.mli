@@ -37,11 +37,11 @@ val engine : 'm t -> Engine.t
 val shards : 'm t -> int
 
 val stats : 'm t -> Stats.t
-(** Traffic statistics.  On a single-shard engine this is the live
-    (and only) instance, valid before, during and after the run.  On a
-    sharded engine it is a merged snapshot of the per-shard instances
-    — take it after {!Engine.run} returns; counters are sums, so the
-    snapshot is identical to what a single-shard run records. *)
+(** Traffic statistics, as a merged snapshot of the per-shard
+    instances — take it after {!Engine.run} returns.  Counters are
+    order-insensitive sums, so the snapshot is identical at every shard
+    count.  Always a fresh copy, so a report built from it survives a
+    later {!reset} of this network. *)
 
 val intern : 'm t -> string -> Stats.label
 (** Intern a label on every shard's statistics, returning the shared
@@ -104,6 +104,17 @@ val broadcast :
 val limit_node :
   'm t -> node:int -> start:Simtime.t -> stop:Simtime.t -> bits_per_sec:float -> unit
 (** Cap [node]'s NIC during a window; the DDoS primitive. *)
+
+val reset : 'm t -> unit
+(** [reset t] empties the network for reuse in a fresh run: statistics
+    zeroed (interned labels keep their ids), flight pools and
+    cross-shard mailboxes cleared, NIC rate schedules and reservations
+    dropped, fault injector and delivery handler detached, telemetry
+    disabled with its histograms zeroed.  Pools, mailboxes and
+    histogram arrays keep their high-water capacity; the engine wiring
+    (trampoline callback, round hook) stays installed.  Callers must
+    {!set_handler} again before the next run and reset the engine
+    alongside ({!Engine.reset}). *)
 
 (** {1 Telemetry} *)
 

@@ -85,6 +85,64 @@ let test_spec_digest_stability () =
   checki "variant digests all distinct" (List.length digests)
     (List.length (List.sort_uniq compare digests))
 
+let test_spec_prefix_digest () =
+  (* The campaign fast path: [canonical_with]/[digest_with] over a
+     precomputed prefix must be byte-identical to serializing the
+     assembled spec from scratch, for every shape of the three
+     variable fields. *)
+  let base =
+    {
+      R.Spec.default with
+      R.Spec.seed = "prefix-test";
+      n_relays = 123;
+      bandwidth_bits_per_sec = 10e6;
+      horizon = 3600.;
+      shards = 4;
+    }
+  in
+  let p = R.Spec.prefix base in
+  let behaviors =
+    let b = Array.make 9 R.Honest in
+    b.(2) <- R.Silent;
+    b.(5) <- R.Crashed { start = 10.; stop = 60. };
+    b
+  in
+  let fault_plan =
+    Some
+      {
+        Tor_sim.Fault.seed = "prefix";
+        faults =
+          [
+            {
+              Tor_sim.Fault.kind = Tor_sim.Fault.Drop { src = 0; dst = 1; prob = 0.5 };
+              start = 0.;
+              stop = 60.;
+            };
+          ];
+      }
+  in
+  let cases =
+    [
+      ([], None, None);
+      (Attack.Ddos.knockout ~n:9 (), None, None);
+      ([], Some behaviors, None);
+      ([], None, fault_plan);
+      (Attack.Ddos.bandwidth_attack ~n:9 (), Some behaviors, fault_plan);
+    ]
+  in
+  List.iteri
+    (fun i (attacks, behaviors, fault_plan) ->
+      let spec = { base with R.Spec.attacks; behaviors; fault_plan } in
+      Alcotest.(check string)
+        (Printf.sprintf "case %d: canonical_with matches canonical" i)
+        (R.Spec.canonical spec)
+        (R.Spec.canonical_with p ~attacks ~behaviors ~fault_plan);
+      Alcotest.(check string)
+        (Printf.sprintf "case %d: digest_with matches digest" i)
+        (R.Spec.digest spec)
+        (R.Spec.digest_with p ~attacks ~behaviors ~fault_plan))
+    cases
+
 let test_spec_rng_deterministic () =
   let a = R.Spec.rng R.Spec.default in
   let b = R.Spec.rng { R.Spec.default with R.Spec.n_relays = 1000 } in
@@ -167,6 +225,34 @@ let test_cache_exception_not_cached () =
          5));
   checki "ran twice" 2 !count
 
+let test_cache_eviction () =
+  Alcotest.check_raises "capacity >= 1"
+    (Invalid_argument "Cache.create: capacity must be >= 1") (fun () ->
+      ignore (Exec.Cache.create ~capacity:0 () : unit Exec.Cache.t));
+  let cache = Exec.Cache.create ~capacity:2 () in
+  let count = ref 0 in
+  let get key =
+    Exec.Cache.find_or_compute cache ~key (fun () ->
+        incr count;
+        key)
+  in
+  Alcotest.(check string) "a computes" "a" (get "a");
+  Alcotest.(check string) "b computes" "b" (get "b");
+  checki "bound not yet hit" 2 (Exec.Cache.length cache);
+  Alcotest.(check string) "c evicts the oldest" "c" (get "c");
+  checki "bounded at capacity" 2 (Exec.Cache.length cache);
+  checkb "oldest entry gone" true (Exec.Cache.find_opt cache "a" = None);
+  checkb "younger entries survive" true
+    (Exec.Cache.find_opt cache "b" = Some "b"
+    && Exec.Cache.find_opt cache "c" = Some "c");
+  checki "three computations so far" 3 !count;
+  (* An evicted key is recomputed, re-inserted, and evicts in turn. *)
+  Alcotest.(check string) "a recomputes after eviction" "a" (get "a");
+  checki "recomputation happened" 4 !count;
+  checkb "b evicted in turn" true (Exec.Cache.find_opt cache "b" = None);
+  Alcotest.(check string) "c still cached" "c" (get "c");
+  checki "c still a hit" 4 !count
+
 (* --- Sweep compilation ------------------------------------------------------- *)
 
 let test_sweep_compiles_grid () =
@@ -224,6 +310,50 @@ let test_run_job_cached () =
   checkb "same outcome object from the cache" true (o1 == o2);
   checkb "key matches the job" true (o1.Exec.Job.key = Exec.Job.key job)
 
+(* --- Campaign ----------------------------------------------------------------- *)
+
+let campaign_base =
+  { R.Spec.default with R.Spec.seed = "campaign-test"; n_relays = 100; horizon = 600. }
+
+let test_campaign_plan_roundtrip () =
+  let spec =
+    {
+      campaign_base with
+      R.Spec.attacks = Attack.Ddos.knockout ~n:9 ();
+      behaviors = Some (Array.make 9 R.Silent);
+    }
+  in
+  checkb "spec_of inverts plan_of_spec" true
+    (Exec.Campaign.spec_of ~base:campaign_base (Exec.Campaign.plan_of_spec spec) = spec);
+  let ctx = Exec.Campaign.create campaign_base in
+  checkb "base spec preserved" true (Exec.Campaign.base_spec ctx = campaign_base);
+  let plan = Exec.Campaign.plan_of_spec spec in
+  Alcotest.(check string) "ctx digest matches the assembled spec digest"
+    (R.Spec.digest spec)
+    (Exec.Campaign.digest ctx plan)
+
+let test_campaign_map_determinism () =
+  (* Same items, same results, for every worker count — each worker
+     builds its own context, so chunking must not leak into results. *)
+  let plans =
+    List.init 6 (fun i ->
+        Exec.Campaign.plan_of_spec
+          (Exec.Chaos.sample_spec
+             { Exec.Chaos.default_config with Exec.Chaos.seed = "campaign-map"; n_relays = 100 }
+             ~index:i))
+  in
+  let eval ctx plan =
+    let report = E.run E.Ours (Exec.Campaign.env_of ctx plan) in
+    ( Exec.Campaign.digest ctx plan,
+      report.R.success,
+      report.R.decided_at_latest,
+      report.R.total_bytes )
+  in
+  let seq = Exec.Campaign.map ~base:campaign_base eval plans in
+  let par = Exec.Campaign.map ~jobs:3 ~base:campaign_base eval plans in
+  checki "one result per plan" (List.length plans) (List.length seq);
+  checkb "jobs=1 and jobs=3 identical" true (seq = par)
+
 (* --- Chaos ------------------------------------------------------------------ *)
 
 let chaos_config =
@@ -265,6 +395,10 @@ let suite =
     ("pool: a job that raises", `Quick, test_pool_exception);
     ("cache: computes once under contention", `Quick, test_cache_computes_once);
     ("cache: exceptions not cached", `Quick, test_cache_exception_not_cached);
+    ("cache: capacity bound evicts FIFO", `Quick, test_cache_eviction);
+    ("spec: prefix digest fast path", `Quick, test_spec_prefix_digest);
+    ("campaign: plan/spec roundtrip and digests", `Quick, test_campaign_plan_roundtrip);
+    ("campaign: map independent of jobs", `Slow, test_campaign_map_determinism);
     ("sweep: compiles the grid", `Quick, test_sweep_compiles_grid);
     ("sweep: fig10 sub-grid determinism jobs=1 vs jobs=4", `Slow,
       test_fig10_subgrid_determinism);

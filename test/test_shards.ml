@@ -291,6 +291,119 @@ let test_sharded_chaos_deterministic () =
       true (sharded = base)
   done
 
+(* --- Arena reuse is bit-identical ---------------------------------------- *)
+
+(* The campaign counterpart of the sharding invariant: running a plan
+   on a reused (reset) simulator arena must produce exactly the report
+   a fresh construction produces.  [warmup] runs a *different* plan
+   through the context first, so the arena is genuinely dirty — stale
+   heap payloads, interned labels, NIC schedules — when the plan under
+   test acquires it. *)
+let fresh_vs_reused ~name ?(shards = 1) protocol specs =
+  let base = { e2e_spec with R.Spec.shards } in
+  let ctx = Exec.Campaign.create base in
+  let warmup =
+    Exec.Campaign.plan_of_spec
+      { base with R.Spec.attacks = Attack.Ddos.knockout ~n:9 () }
+  in
+  ignore (E.run protocol (Exec.Campaign.env_of ctx warmup) : R.report);
+  List.iteri
+    (fun i spec ->
+      let spec = { spec with R.Spec.shards } in
+      let fresh = summary (E.run protocol (R.of_spec spec)) in
+      let reused =
+        summary
+          (E.run protocol (Exec.Campaign.env_of ctx (Exec.Campaign.plan_of_spec spec)))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s@%dd plan %d: reused arena == fresh" name shards i)
+        true (reused = fresh))
+    specs
+
+let flood_spec =
+  { e2e_spec with R.Spec.attacks = Attack.Ddos.bandwidth_attack ~n:9 () }
+
+let test_arena_reuse_ours () =
+  fresh_vs_reused ~name:"ours" E.Ours [ e2e_spec; flood_spec ];
+  fresh_vs_reused ~name:"ours" ~shards:4 E.Ours [ e2e_spec; flood_spec ]
+
+let test_arena_reuse_current () =
+  fresh_vs_reused ~name:"current" E.Current [ e2e_spec; flood_spec ];
+  fresh_vs_reused ~name:"current" ~shards:4 E.Current [ e2e_spec; flood_spec ]
+
+let test_arena_reuse_sync () =
+  fresh_vs_reused ~name:"synchronous" E.Synchronous [ e2e_spec; flood_spec ];
+  fresh_vs_reused ~name:"synchronous" ~shards:4 E.Synchronous [ e2e_spec; flood_spec ]
+
+let test_arena_reuse_chaos () =
+  (* 20 seeded chaos plans — faults, partitions, crash windows,
+     misbehaving authorities — streamed through ONE context, each
+     compared against its own fresh run. *)
+  let config =
+    { Exec.Chaos.default_config with Exec.Chaos.n_relays = 120; horizon = 900. }
+  in
+  let base = Exec.Chaos.base_spec config in
+  let ctx = Exec.Campaign.create base in
+  for index = 0 to 19 do
+    let spec = Exec.Chaos.sample_spec config ~index in
+    let fresh = summary (E.run E.Ours (R.of_spec spec)) in
+    let reused =
+      summary (E.run E.Ours (Exec.Campaign.env_of ctx (Exec.Campaign.plan_of_spec spec)))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "chaos plan %d: reused arena == fresh" index)
+      true (reused = fresh)
+  done
+
+let test_arena_reset_after_exception () =
+  (* A run that dies mid-simulation leaves the arena dirty at an
+     arbitrary point; reset-on-acquire must still hand back a simulator
+     that reproduces the fresh result. *)
+  let env = R.of_spec e2e_spec in
+  let env = { env with R.arena = Some (R.Arena.create ()) } in
+  let module S = R.Simulator (struct
+    type msg = unit
+  end) in
+  let engine, _net = S.obtain ~driver:"test-exn" env in
+  ignore
+    (Tor_sim.Engine.schedule engine ~owner:0 ~at:1.0 (fun () -> failwith "mid-run"));
+  Alcotest.check_raises "simulated failure propagates" (Failure "mid-run") (fun () ->
+      Tor_sim.Engine.run engine);
+  (* Same slot, acquired again: reset on acquisition, fully reusable. *)
+  let engine2, net2 = S.obtain ~driver:"test-exn" env in
+  Alcotest.(check int) "queue empty after reset" 0 (Tor_sim.Engine.pending engine2);
+  let delivered = ref 0 in
+  Net.set_handler net2 (fun ~dst:_ ~src:_ () -> incr delivered);
+  Net.send net2 ~src:0 ~dst:1 ~size:100 ();
+  Tor_sim.Engine.run engine2;
+  Alcotest.(check int) "reused simulator delivers" 1 !delivered;
+  (* And a full protocol run through the same dirtied arena still
+     matches fresh. *)
+  let fresh = summary (E.run E.Ours (R.of_spec e2e_spec)) in
+  let reused = summary (E.run E.Ours env) in
+  Alcotest.(check bool) "protocol run after exception == fresh" true (reused = fresh)
+
+let test_arena_obs_reset () =
+  (* Telemetry accumulated by one run must not leak into the next
+     run's histograms/spans through the reused network and engine. *)
+  let ctx = Exec.Campaign.create e2e_spec in
+  let plan = Exec.Campaign.plan_of_spec e2e_spec in
+  let fresh_env = { (R.of_spec e2e_spec) with R.telemetry = true } in
+  let fresh = E.run E.Ours fresh_env in
+  let first = E.run E.Ours (Exec.Campaign.env_of ~telemetry:true ctx plan) in
+  let second = E.run E.Ours (Exec.Campaign.env_of ~telemetry:true ctx plan) in
+  let counts r =
+    ( Option.map Obs.Metrics.count (R.time_to_decision r),
+      Option.map Obs.Metrics.count (R.delivery_latency r "proposal"),
+      Option.map
+        (fun (o : R.obs) -> List.length o.R.spans)
+        (R.report_obs r) )
+  in
+  Alcotest.(check bool) "first reused telemetry == fresh" true
+    (counts first = counts fresh);
+  Alcotest.(check bool) "second reused telemetry == fresh (no accumulation)" true
+    (counts second = counts fresh)
+
 let test_effective_shards () =
   let env = R.of_spec { e2e_spec with R.Spec.shards = 4 } in
   Alcotest.(check int) "requested honored" 4 (R.effective_shards env);
@@ -347,4 +460,10 @@ let suite =
       `Quick,
       test_sharded_run_deterministic_attack );
     ("sharded chaos plans bit-identical", `Slow, test_sharded_chaos_deterministic);
+    ("arena reuse bit-identical (ours)", `Quick, test_arena_reuse_ours);
+    ("arena reuse bit-identical (current)", `Quick, test_arena_reuse_current);
+    ("arena reuse bit-identical (synchronous)", `Quick, test_arena_reuse_sync);
+    ("arena reuse across chaos plans", `Slow, test_arena_reuse_chaos);
+    ("arena reusable after mid-run exception", `Quick, test_arena_reset_after_exception);
+    ("arena telemetry does not accumulate", `Quick, test_arena_obs_reset);
   ]

@@ -722,12 +722,12 @@ let test_fault_drop_labels () =
   let engine, net =
     with_fault [ { Fault.kind = Fault.Drop { src = 0; dst = 1; prob = 1. }; start = 0.; stop = 100. } ]
   in
-  let stats = Net.stats net in
-  let lbl = Stats.intern stats "vote" in
+  let lbl = Net.intern net "vote" in
   Net.set_handler net (fun ~dst:_ ~src:_ _ -> ());
   Net.send net ~src:0 ~dst:1 ~size:10 ~label:lbl ();
   Net.send net ~src:0 ~dst:2 ~size:10 ~label:lbl ();
   Engine.run engine;
+  let stats = Net.stats net in
   checki "per-label drop count" 1 (Stats.label_dropped stats "vote");
   checki "per-node drop count" 1 (Stats.dropped_at stats 1);
   checkb "dropped_labels lists the label" true (Stats.dropped_labels stats = [ ("vote", 1) ])
