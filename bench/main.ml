@@ -42,6 +42,7 @@ let obs_results : (string * jv) list ref = ref []         (* telemetry pass *)
 let dist_wall : (string * float) list ref = ref []        (* wall s *)
 let dist_metrics : (string * float) list ref = ref []     (* simulated metrics *)
 let campaign_results : (string * float) list ref = ref [] (* plans/s + speedup *)
+let defense_results : (string * int) list ref = ref []    (* plans broken *)
 let target_times : (string * float) list ref = ref []     (* wall s *)
 
 let header title =
@@ -561,6 +562,81 @@ let campaign () =
       (name ^ "/speedup", cold_s /. warm_s);
     ]
 
+(* --- defense head-to-head --------------------------------------------------- *)
+
+(* The headline table the paper's Figure 11 doesn't have: the 200-plan
+   chaos campaign rerun under each defense preset, counting the plans
+   that break the deployed v3 protocol and the paper's partial-
+   synchrony protocol.  "Break" is a failed run ([success = false]).
+   The counts land in the JSON report under [defense_break_counts] and
+   are exact-match gated in CI; the wall time joins [macro_wall_s]
+   under the ordinary 2x gate.  A rerun of one defended column at a
+   different worker count and shard width asserts the table is a pure
+   function of the configuration. *)
+let defense () =
+  header "Defense toolbox: 200 chaos plans x {none, admission, rotation, both}";
+  defense_results := [];
+  let plans = 200 in
+  let breaks ?(shards = 1) ~jobs preset =
+    let config =
+      {
+        Exec.Chaos.default_config with
+        Exec.Chaos.plans;
+        defense = (if Defense.Plan.is_empty preset then None else Some preset);
+      }
+    in
+    let base = { (Exec.Chaos.base_spec config) with Protocols.Runenv.Spec.shards } in
+    let broken =
+      Exec.Campaign.map ~jobs ~votes:(E.votes_for_spec base) ~base
+        (fun ctx index ->
+          let spec = Exec.Chaos.sample_spec config ~index in
+          let env = Exec.Campaign.env_of ctx (Exec.Campaign.plan_of_spec spec) in
+          ( (not (E.run E.Current env).Protocols.Runenv.success),
+            not (E.run E.Ours env).Protocols.Runenv.success ))
+        (List.init plans Fun.id)
+    in
+    let count f = List.length (List.filter f broken) in
+    (count fst, count snd)
+  in
+  let name = Printf.sprintf "defense-chaos-%d" plans in
+  let t0 = Unix.gettimeofday () in
+  let table =
+    List.map
+      (fun (label, preset) -> (label, preset, breaks ~jobs:!jobs preset))
+      [
+        ("none", Defense.Plan.none);
+        ("admission", Defense.Plan.admission_only);
+        ("rotation", Defense.Plan.rotation_only);
+        ("both", Defense.Plan.both);
+      ]
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-12s %14s %14s\n" "defense" "v3 breaks" "ours breaks";
+  List.iter
+    (fun (label, _, (v3, ours)) ->
+      Printf.printf "%-12s %10d/%d %10d/%d\n" label v3 plans ours plans)
+    table;
+  (* Determinism: the defended column rerun on a different worker count
+     and shard width must reproduce the committed counts exactly. *)
+  let rotation_counts =
+    let _, _, counts = List.nth table 2 in
+    counts
+  in
+  let replay = breaks ~jobs:(if !jobs = 1 then 2 else 1) ~shards:2 Defense.Plan.rotation_only in
+  if replay <> rotation_counts then
+    failwith "defense: break counts changed across --jobs/shard counts";
+  Printf.printf "replay (jobs/shards varied): rotation column identical\n";
+  Printf.printf "%-28s %8.3f s wall\n" name wall;
+  defense_results :=
+    List.concat_map
+      (fun (label, _, (v3, ours)) ->
+        [
+          (Printf.sprintf "%s/%s/v3" name label, v3);
+          (Printf.sprintf "%s/%s/ours" name label, ours);
+        ])
+      table;
+  macro_results := !macro_results @ [ (name, wall) ]
+
 (* --- distribution macro bench ---------------------------------------------- *)
 
 (* The paper's worst case, end to end: agreement run, then a
@@ -658,6 +734,7 @@ let emit_json path =
   section "macro_dropped_msgs" (ints !drop_results) ~last:false;
   section "obs_profile" !obs_results ~last:false;
   section "campaign_plans_per_s" (floats !campaign_results) ~last:false;
+  section "defense_break_counts" (ints !defense_results) ~last:false;
   section "dist_wall_s" (floats !dist_wall) ~last:false;
   section "dist_metrics" (floats !dist_metrics) ~last:false;
   section "target_wall_s" (floats (List.rev !target_times)) ~last:true;
@@ -684,6 +761,7 @@ let targets =
     ("micro", micro);
     ("macro", macro);
     ("campaign", campaign);
+    ("defense", defense);
     ("dist", dist);
   ]
 

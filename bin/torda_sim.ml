@@ -456,7 +456,24 @@ let chaos_cmd =
           ~doc:"Relays in the synthetic network (default 1000: chaos stresses \
                 faults, not payload size).")
   in
-  let action jobs plans seed relays =
+  let defense_arg =
+    let parse s =
+      match Defense.Plan.preset s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown defense %S" s))
+    in
+    let print ppf p = Defense.Plan.pp ppf p in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Defense.Plan.none
+      & info [ "defense" ] ~docv:"KIND"
+          ~doc:
+            "Defense toolbox applied to every case: $(b,none), $(b,admission) \
+             (per-source token buckets at the authority NIC), $(b,rotation) \
+             (MPTC-style epoch rotation of the active authority subset), or \
+             $(b,both).")
+  in
+  let action jobs plans seed relays defense =
     if jobs < 0 then begin
       prerr_endline "chaos: --jobs must be >= 0";
       2
@@ -468,7 +485,14 @@ let chaos_cmd =
     else begin
       let jobs = if jobs = 0 then Exec.Pool.default_jobs () else jobs in
       let config =
-        { Exec.Chaos.default_config with Exec.Chaos.seed; plans; n_relays = relays }
+        {
+          Exec.Chaos.default_config with
+          Exec.Chaos.seed;
+          plans;
+          n_relays = relays;
+          defense =
+            (if Defense.Plan.is_empty defense then None else Some defense);
+        }
       in
       let started = Unix.gettimeofday () in
       let report = Exec.Chaos.check ~config ~run_protocol:E.run ~jobs () in
@@ -478,14 +502,23 @@ let chaos_cmd =
         report.Exec.Chaos.verdicts;
       Printf.printf "chaos: %d plan(s), %d safety violation(s), %d liveness violation(s)\n"
         plans report.Exec.Chaos.safety_violations report.Exec.Chaos.liveness_violations;
-      Printf.eprintf "chaos: %d plan(s) on %d domain(s) in %.1f s (%.2f plans/s)\n%!"
-        plans jobs elapsed
-        (if elapsed > 0. then float_of_int plans /. elapsed else 0.);
+      (* Tiny --plans runs can finish inside the clock's resolution;
+         reporting a rate from a near-zero denominator is noise, so the
+         throughput clause only appears when the run was measurable. *)
+      let rate =
+        if elapsed >= 0.001 then
+          Printf.sprintf " (%.2f plans/s)" (float_of_int plans /. elapsed)
+        else ""
+      in
+      Printf.eprintf "chaos: %d plan(s) on %d domain(s) in %.1f s%s\n%!"
+        plans jobs elapsed rate;
       if report.Exec.Chaos.safety_violations > 0 then 1 else 0
     end
   in
   let term =
-    Term.(const action $ jobs_arg $ plans_arg $ chaos_seed_arg $ chaos_relays_arg)
+    Term.(
+      const action $ jobs_arg $ plans_arg $ chaos_seed_arg $ chaos_relays_arg
+      $ defense_arg)
   in
   Cmd.v
     (Cmd.info "chaos"

@@ -11,6 +11,7 @@ type draft = {
   mutable behaviors : (int * Runenv.behavior) list;
   mutable attacks : Runenv.attack list;
   mutable distribution : Torclient.Distribution.config option;
+  mutable defense : Defense.Plan.t option;
 }
 
 let fresh_draft () =
@@ -23,6 +24,7 @@ let fresh_draft () =
     behaviors = [];
     attacks = [];
     distribution = None;
+    defense = None;
   }
 
 (* Any distribution directive switches the tier on; later directives
@@ -43,6 +45,44 @@ let float_arg s = Option.to_result ~none:(Printf.sprintf "bad number %S" s) (flo
 
 (* Directives are space-split, so the crash window rides inside one
    word: [crashed:<start>:<stop>]. *)
+(* Defense members ride inside one word, like crash windows:
+   [admission:<rate>:<burst>:<backlog>] and [rotate:<out>:<epoch>]
+   (optionally [rotate:<out>:<epoch>:<seed>]).  Bare preset names pick
+   the committed defaults.  Later directives merge member-wise, so
+   [defense admission:…] followed by [defense rotate:…] composes
+   both. *)
+let parse_defense draft s =
+  let current =
+    Option.value draft.defense ~default:Defense.Plan.none
+  in
+  match String.split_on_char ':' s with
+  | [ preset ] when Defense.Plan.preset preset <> None ->
+      Ok (Option.get (Defense.Plan.preset preset))
+  | [ "admission"; rate; burst; backlog ] ->
+      let* rate = float_arg rate in
+      let* burst = int_arg burst in
+      let* backlog = int_arg backlog in
+      Ok
+        {
+          current with
+          Defense.Plan.admission = Some { Defense.Admission.rate; burst; backlog };
+        }
+  | "rotate" :: out :: epoch :: seed ->
+      let* out = int_arg out in
+      let* epoch = float_arg epoch in
+      let* seed =
+        match seed with
+        | [] -> Ok Defense.Rotation.default.Defense.Rotation.seed
+        | [ seed ] -> Ok seed
+        | _ -> Error (Printf.sprintf "unknown defense %S" s)
+      in
+      Ok
+        {
+          current with
+          Defense.Plan.rotation = Some { Defense.Rotation.seed; out; epoch };
+        }
+  | _ -> Error (Printf.sprintf "unknown defense %S" s)
+
 let parse_behavior s =
   match String.split_on_char ':' s with
   | [ "silent" ] -> Ok Runenv.Silent
@@ -105,6 +145,10 @@ let apply_directive draft = function
       let* start = float_arg start in
       let* stop = float_arg stop in
       draft.attacks <- Attack.Ddos.knockout ~n:9 ~start ~stop () @ draft.attacks;
+      Ok ()
+  | [ "defense"; d ] ->
+      let* plan = parse_defense draft d in
+      draft.defense <- Some plan;
       Ok ()
   | [ "clients"; n ] ->
       let* n = int_arg n in
@@ -188,6 +232,10 @@ let parse text =
         behaviors = Some behaviors;
         distribution = draft.distribution;
         horizon = draft.horizon;
+        defense =
+          (match draft.defense with
+          | Some p when not (Defense.Plan.is_empty p) -> Some p
+          | Some _ | None -> None);
       }
   with
   | env -> Ok { protocol = draft.protocol; env }

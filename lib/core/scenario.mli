@@ -22,7 +22,15 @@
     - [knockout-majority START STOP] — the Figure 11 attack
     - [clients N], [caches N], [halt SECONDS], [diffs on|off] —
       enable the downstream {!Torclient.Distribution} tier; any one of
-      these switches it on with defaults for the rest *)
+      these switches it on with defaults for the rest
+    - [defense none|admission|rotation|both] — a {!Defense.Plan}
+      preset; or spell the members out with
+      [defense admission:RATE:BURST:BACKLOG] (per-source token
+      buckets: RATE msgs/s sustained, BURST msgs instantly, BACKLOG
+      deferred before rejects) and [defense rotate:OUT:EPOCH[:SEED]]
+      (OUT authorities rotated out per EPOCH-second epoch).  Later
+      [defense] directives merge member-wise, so an [admission:…]
+      line composes with a [rotate:…] line *)
 
 type t = {
   protocol : Experiments.protocol;

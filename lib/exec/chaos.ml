@@ -10,6 +10,7 @@ type config = {
   bandwidth_bits_per_sec : float;
   horizon : float;
   liveness_bound : float;
+  defense : Defense.Plan.t option;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     bandwidth_bits_per_sec = 250e6;
     horizon = 7200.;
     liveness_bound = 900.;
+    defense = None;
   }
 
 let fault_bound ~n = (n - 1) / 3
@@ -33,6 +35,7 @@ let base_spec config =
     n_relays = config.n_relays;
     bandwidth_bits_per_sec = config.bandwidth_bits_per_sec;
     horizon = config.horizon;
+    defense = config.defense;
   }
 
 (* Sampling ----------------------------------------------------------- *)
@@ -148,6 +151,7 @@ type protocol_report = {
   agreement : bool;
   decided_at_latest : float option;
   dropped : int;
+  rejected : int; (* defense turn-aways; never counted in [dropped] *)
 }
 
 type verdict = {
@@ -182,6 +186,7 @@ let report_of ~run_protocol protocol env =
     agreement = r.Runenv.agreement;
     decided_at_latest = r.Runenv.decided_at_latest;
     dropped = r.Runenv.dropped;
+    rejected = r.Runenv.rejected;
   }
 
 (* Safety and liveness of one (plan, behaviors) case, judged from a run
@@ -374,6 +379,16 @@ let pp_verdict ppf v =
     (mark (by_protocol Job.Ours))
     (status ~applicable:v.safety_applicable ~ok:v.safety_ok)
     (status ~applicable:v.liveness_applicable ~ok:v.liveness_ok);
+  (* Defense rejects, kept apart from fault drops; printed only when a
+     defense actually turned traffic away, so undefended output is
+     byte-identical to the pre-defense harness. *)
+  let total_rejected = List.fold_left (fun acc r -> acc + r.rejected) 0 v.reports in
+  if total_rejected > 0 then
+    Format.fprintf ppf "  rejected:%s"
+      (String.concat "/"
+         (List.map
+            (fun p -> string_of_int (by_protocol p).rejected)
+            [ Job.Current; Job.Synchronous; Job.Ours ]));
   (match v.stalled_phase with
   | None -> ()
   | Some phase -> Format.fprintf ppf "@,  stalled in: %s" phase);

@@ -33,11 +33,15 @@ type config = {
   horizon : float;
   liveness_bound : float;
       (** decide within this many seconds of the last fault clearing *)
+  defense : Defense.Plan.t option;
+      (** defense toolbox applied to every case ([None] = undefended);
+          flows into {!base_spec} so it participates in every case's
+          spec digest *)
 }
 
 val default_config : config
 (** seed ["chaos"], 20 plans, 9 authorities, 1000 relays, 250 Mbit/s,
-    7200 s horizon, 900 s liveness bound. *)
+    7200 s horizon, 900 s liveness bound, no defense. *)
 
 val fault_bound : n:int -> int
 (** ⌊(n−1)/3⌋ — the BFT tolerance the invariants are scoped to. *)
@@ -59,7 +63,10 @@ type protocol_report = {
   success : bool;                  (** {!Protocols.Runenv.success} *)
   agreement : bool;                (** {!Protocols.Runenv.agreement_holds} *)
   decided_at_latest : float option;
-  dropped : int;                   (** messages lost, all causes *)
+  dropped : int;                   (** messages lost to faults/expiry *)
+  rejected : int;
+      (** messages turned away by a defense (admission over-budget,
+          rotated-out endpoint); accounted separately from [dropped] *)
 }
 
 type verdict = {

@@ -38,6 +38,7 @@ type t = {
   attacks : attack list;
   behaviors : behavior array;
   fault_plan : Sim.Fault.plan option;
+  defense : Defense.Plan.t option;
   distribution : Torclient.Distribution.config option;
   horizon : Sim.Simtime.t;
   shards : int;
@@ -45,13 +46,26 @@ type t = {
       (* record spans/histograms/profile; NOT part of Spec (see mli) *)
   arena : Arena.t option;
       (* reusable simulator instances; NOT part of Spec (see mli) *)
+  rotation : Defense.Rotation.t array;
+      (* per-node rotation caches derived from [defense]; [||] = off.
+         Node i's cache is only consulted from i's shard (handlers and
+         scheduled actions run on the owner's shard), so the memoized
+         epoch is single-writer. *)
 }
 
+(* MPTC-style rotation: a rotated-out authority sits the epoch out —
+   drivers treat it like a node that is not serving, exactly as they
+   treat a crash window. *)
+let rotated_out t id ~now =
+  Array.length t.rotation > 0
+  && Defense.Rotation.quiet t.rotation.(id) ~node:id ~now
+
 let awake t id ~now =
-  match t.behaviors.(id) with
+  (match t.behaviors.(id) with
   | Honest | Equivocating -> true
   | Silent -> false
-  | Crashed { start; stop } -> not (now >= start && now < stop)
+  | Crashed { start; stop } -> not (now >= start && now < stop))
+  && not (rotated_out t id ~now)
 
 let participates = function
   | Honest | Equivocating | Crashed _ -> true
@@ -75,6 +89,7 @@ module Spec = struct
     behaviors : behavior array option;
     divergence : Dirdoc.Workload.divergence option;
     fault_plan : Sim.Fault.plan option;
+    defense : Defense.Plan.t option;
     distribution : Torclient.Distribution.config option;
     horizon : Sim.Simtime.t;
     shards : int;
@@ -91,6 +106,7 @@ module Spec = struct
       behaviors = None;
       divergence = None;
       fault_plan = None;
+      defense = None;
       distribution = None;
       horizon = 7200.;
       shards = 1;
@@ -166,7 +182,14 @@ module Spec = struct
     | None -> Buffer.add_string buf "default;"
     | Some d -> add_s buf (Torclient.Distribution.canonical_config d));
     add_f buf t.horizon;
-    add_i buf t.shards
+    add_i buf t.shards;
+    (* The defense sub-record joined the spec in the defense-toolbox
+       change; it is encoded unconditionally — [None] included — so
+       every digest moved once, by design, and a defense-carrying spec
+       can never collide with a defense-less one. *)
+    match t.defense with
+    | None -> Buffer.add_string buf "default;"
+    | Some p -> add_s buf (Defense.Plan.canonical p)
 
   let canonical t =
     let buf = Buffer.create 256 in
@@ -238,9 +261,16 @@ let check_variation ~who ~n ~attacks ~fault_plan =
       if a.bits_per_sec < 0. then invalid_arg (who ^ ": negative residual bandwidth"))
     attacks
 
+let rotation_caches ~n defense =
+  match defense with
+  | Some { Defense.Plan.rotation = Some c; _ } ->
+      Array.init n (fun _ -> Defense.Rotation.instantiate c ~n)
+  | _ -> [||]
+
 let of_spec ?votes (spec : Spec.t) =
   let { Spec.seed; valid_after; n; n_relays; bandwidth_bits_per_sec; attacks;
-        behaviors; divergence; fault_plan; distribution; horizon; shards } = spec in
+        behaviors; divergence; fault_plan; defense; distribution; horizon;
+        shards } = spec in
   if shards < 1 then invalid_arg "Runenv.of_spec: shards must be >= 1";
   let keyring = Crypto.Keyring.create ~seed ~n () in
   let rng = Sim.Rng.of_string_seed seed in
@@ -256,6 +286,7 @@ let of_spec ?votes (spec : Spec.t) =
   in
   let behaviors = checked_behaviors ~who:"Runenv.of_spec" ~n behaviors in
   check_variation ~who:"Runenv.of_spec" ~n ~attacks ~fault_plan;
+  Option.iter (Defense.Plan.validate ~n) defense;
   Option.iter Torclient.Distribution.validate_config distribution;
   {
     n;
@@ -267,11 +298,13 @@ let of_spec ?votes (spec : Spec.t) =
     attacks;
     behaviors;
     fault_plan;
+    defense;
     distribution;
     horizon;
     shards;
     telemetry = false;
     arena = None;
+    rotation = rotation_caches ~n defense;
   }
 
 let vary env ~attacks ~behaviors ~fault_plan =
@@ -526,6 +559,7 @@ type report = {
   decided_at_latest : Sim.Simtime.t option;
   total_bytes : int;
   dropped : int;
+  rejected : int;
   distribution : Torclient.Distribution.outcome option;
 }
 
@@ -539,6 +573,7 @@ let report env ?distribution (result : run_result) =
     decided_at_latest = decided_at_latest result;
     total_bytes = Sim.Stats.total_bytes_sent result.stats;
     dropped = Sim.Stats.dropped result.stats;
+    rejected = Sim.Stats.rejected result.stats;
     distribution;
   }
 
@@ -618,4 +653,11 @@ let apply_attacks env net =
   let base = Option.value env.fault_plan ~default:Sim.Fault.empty in
   let merged = { base with Sim.Fault.faults = base.Sim.Fault.faults @ behavior_crashes } in
   if merged.Sim.Fault.faults <> [] then
-    Sim.Net.set_fault net (Sim.Fault.instantiate merged)
+    Sim.Net.set_fault net (Sim.Fault.instantiate merged);
+  (* Install the defenses through the same seam.  Like the fault
+     injector, the installation is per run — an arena [Net.reset]
+     detaches defenses, so a reused simulator picks up exactly the
+     plan of the spec it is serving. *)
+  match env.defense with
+  | Some p when not (Defense.Plan.is_empty p) -> Sim.Net.set_defense net p
+  | Some _ | None -> ()

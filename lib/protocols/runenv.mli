@@ -48,6 +48,10 @@ type t = {
   attacks : attack list;
   behaviors : behavior array;
   fault_plan : Tor_sim.Fault.plan option; (** injected network faults *)
+  defense : Defense.Plan.t option;
+      (** installed defenses (admission control, rotation); [None] =
+          undefended.  Installed on the network by {!apply_attacks},
+          honored by the drivers through {!awake}. *)
   distribution : Torclient.Distribution.config option;
       (** downstream cache/client tier; [None] = agreement core only *)
   horizon : Tor_sim.Simtime.t;       (** stop simulating at this time *)
@@ -71,13 +75,24 @@ type t = {
           [None] (the default from {!of_spec}) rebuilds the simulator
           per run; [Exec.Campaign] installs one arena per worker
           domain.  An arena must never be shared across domains. *)
+  rotation : Defense.Rotation.t array;
+      (** per-node rotation membership caches derived from [defense]
+          ([[||]] when rotation is off) — internal plumbing for
+          {!awake}, built by {!of_spec}.  Node [i]'s cache must only
+          be consulted from [i]'s shard. *)
 }
 
 val awake : t -> int -> now:Tor_sim.Simtime.t -> bool
 (** Whether authority [id] processes events at [now]: [false] for
-    [Silent] always and for [Crashed] inside its window.  The drivers
+    [Silent] always, for [Crashed] inside its window, and for a node
+    the defense {!rotated_out} of the active subset.  The drivers
     guard message handlers and scheduled round actions with this
     instead of hard-coding [Silent]'s permanence. *)
+
+val rotated_out : t -> int -> now:Tor_sim.Simtime.t -> bool
+(** Whether the environment's rotation defense has authority [id]
+    quiet at [now] ([false] when no rotation is configured).  Folded
+    into {!awake}; exposed for diagnostics. *)
 
 val participates : behavior -> bool
 (** [false] only for [Silent] — the node never takes part. *)
@@ -101,6 +116,13 @@ module Spec : sig
         (** injected network faults; [None] = fault-free.  Participates
             in {!canonical}/{!digest} so cached sweep results keyed on a
             digest never conflate faulty and fault-free runs. *)
+    defense : Defense.Plan.t option;
+        (** defenses to install (admission control and/or rotation);
+            [None] = undefended.  Participates in
+            {!canonical}/{!digest} — introducing the field moved every
+            digest once, by design, and distinct defense configs key
+            distinct jobs.  NOT campaign-variable: a campaign compares
+            fault plans under one fixed defense posture. *)
     distribution : Torclient.Distribution.config option;
         (** downstream distribution tier (caches, cohort sizes,
             schedule/backoff parameters, diff serving); [None] runs the
@@ -331,6 +353,10 @@ type report = {
   decided_at_latest : Tor_sim.Simtime.t option; (** {!decided_at_latest} *)
   total_bytes : int;    (** authority-tier bytes on the wire *)
   dropped : int;        (** messages lost to attacks or faults *)
+  rejected : int;
+      (** messages turned away by the installed defenses (admission
+          over-budget, rotation quiet periods); [0] when undefended.
+          Deliberately not folded into [dropped]. *)
   distribution : Torclient.Distribution.outcome option;
       (** client-tier metrics; [None] when no distribution config *)
 }
@@ -358,9 +384,10 @@ val stalled_phase : t -> report -> string option
     telemetry was off or every correct authority decided. *)
 
 val apply_attacks : t -> 'm Tor_sim.Net.t -> unit
-(** Install every attack window on the network's NICs, and install the
+(** Install every attack window on the network's NICs, install the
     environment's fault injector ({!Spec.t.fault_plan} plus one
-    {!Tor_sim.Fault.Crash} entry per [Crashed] behavior) on the
+    {!Tor_sim.Fault.Crash} entry per [Crashed] behavior), and install
+    the environment's defenses ({!Tor_sim.Net.set_defense}) on the
     network.  Call once, before the first send. *)
 
 val default_valid_after : float

@@ -24,11 +24,12 @@ let stage_self = 0 (* deliver locally, no bandwidth cost *)
 let stage_arrival = 1 (* reserve ingress on the receiver's NIC *)
 let stage_finish = 2 (* ingress done: deliver *)
 let stage_finish_expired = 3 (* ingress done but past the deadline: drop *)
+let stage_admitted = 4 (* deferred by admission control, token granted *)
 
-(* The stage field carries one flag bit above the 2-bit stage: a
+(* The stage field carries one flag bit above the 3-bit stage: a
    fault-injected duplicate delivers its payload twice at finish. *)
-let flag_duplicate = 4
-let stage_of bits = bits land 3
+let flag_duplicate = 8
+let stage_of bits = bits land 7
 
 (* Per-shard flight pool plus that shard's private statistics. *)
 type 'm pool = {
@@ -71,6 +72,13 @@ type 'm t = {
   outboxes : 'm mail Queue.t array; (* [src_shard * shards + dst_shard] *)
   mutable interned : string list; (* newest first; replayed into merges *)
   mutable fault : Fault.t option; (* installed injector, if any *)
+  (* Installed defenses, if any.  The admission bucket array is shared:
+     its (dst, _) rows are only touched by dst's arrival events, which
+     run on dst's shard.  Rotation membership caches are per node for
+     the same reason — node i's cache is read on i's shard only (as
+     sender at send time, as receiver at delivery time). *)
+  mutable admission : Defense.Admission.t option;
+  mutable rotation : Defense.Rotation.t array; (* per node; [||] = off *)
   mutable handler : (dst:int -> src:int -> 'm -> unit) option;
   mutable trampoline : Engine.callback option;
   mutable obs_on : bool; (* record delivery latencies (one test per delivery) *)
@@ -166,6 +174,24 @@ let set_fault t fault =
 
 let fault t = t.fault
 
+let set_defense t plan =
+  Defense.Plan.validate ~n:(n t) plan;
+  (match plan.Defense.Plan.admission with
+  | None -> t.admission <- None
+  | Some c ->
+      let a = Defense.Admission.instantiate c in
+      Defense.Admission.bind a ~n:(n t);
+      t.admission <- Some a);
+  t.rotation <-
+    (match plan.Defense.Plan.rotation with
+    | None -> [||]
+    | Some c -> Array.init (n t) (fun _ -> Defense.Rotation.instantiate c ~n:(n t)))
+
+(* Whether [node] is rotated out (quiet) right now. *)
+let quiet_now t node =
+  Array.length t.rotation > 0
+  && Defense.Rotation.quiet t.rotation.(node) ~node ~now:(Engine.now t.engine)
+
 let deliver t ~dst ~src msg =
   match t.handler with
   | None -> failwith "Net.deliver: no handler installed"
@@ -227,33 +253,61 @@ let trampoline t fl =
     let label = p.fl_label.(fl) and sent_at = p.fl_sent_at.(fl) in
     release_flight p fl;
     if crashed_now t dst then Stats.record_drop p.p_stats ~node:dst ~label
+    else if quiet_now t dst then Stats.record_reject p.p_stats ~node:dst ~label
     else begin
       if t.obs_on then observe_latency t ~dst ~label ~sent_at;
       deliver t ~dst ~src msg
     end
   end
-  else if stage = stage_arrival then begin
+  else if stage = stage_arrival || stage = stage_admitted then begin
     let dst = p.fl_dst.(fl) and size = p.fl_size.(fl) in
     let arrival = Engine.now t.engine in
-    (* Reserve the receiver's NIC at arrival, so ingress reservations
-       happen in arrival order, not send order. *)
-    let finish = Nic.reserve t.nics.(dst) ~now:arrival ~bytes:size in
-    if Simtime.is_infinite finish then begin
-      Stats.record_drop p.p_stats ~node:dst ~label:p.fl_label.(fl);
-      release_flight p fl
-    end
-    else begin
-      let deadline = p.fl_deadline.(fl) in
-      let expired =
-        (not (Float.is_nan deadline)) && finish -. p.fl_sent_at.(fl) > deadline
-      in
-      p.fl_stage.(fl) <-
-        (if expired then stage_finish_expired else stage_finish)
-        lor (bits land flag_duplicate);
-      match t.trampoline with
-      | Some cb -> ignore (Engine.schedule_call t.engine ~owner:dst ~at:finish cb fl)
-      | None -> assert false
-    end
+    (* Admission control runs BEFORE the ingress reservation: a
+       turned-away message never costs the receiver bandwidth.  A
+       deferred message re-enters here under [stage_admitted] — its
+       token is granted, it only releases its backlog slot and falls
+       through to the NIC. *)
+    let verdict =
+      match t.admission with
+      | None -> Defense.Admission.Admit
+      | Some a ->
+          if stage = stage_admitted then begin
+            Defense.Admission.drain a ~dst ~src:p.fl_src.(fl);
+            Defense.Admission.Admit
+          end
+          else Defense.Admission.decide a ~now:arrival ~dst ~src:p.fl_src.(fl)
+    in
+    match verdict with
+    | Defense.Admission.Reject ->
+        Stats.record_reject p.p_stats ~node:dst ~label:p.fl_label.(fl);
+        release_flight p fl
+    | Defense.Admission.Defer grant_at ->
+        p.fl_stage.(fl) <- stage_admitted lor (bits land flag_duplicate);
+        (match t.trampoline with
+        | Some cb ->
+            ignore (Engine.schedule_call t.engine ~owner:dst ~at:grant_at cb fl)
+        | None -> assert false)
+    | Defense.Admission.Admit -> (
+        (* Reserve the receiver's NIC at arrival, so ingress
+           reservations happen in arrival order, not send order. *)
+        let finish = Nic.reserve t.nics.(dst) ~now:arrival ~bytes:size in
+        if Simtime.is_infinite finish then begin
+          Stats.record_drop p.p_stats ~node:dst ~label:p.fl_label.(fl);
+          release_flight p fl
+        end
+        else begin
+          let deadline = p.fl_deadline.(fl) in
+          let expired =
+            (not (Float.is_nan deadline)) && finish -. p.fl_sent_at.(fl) > deadline
+          in
+          p.fl_stage.(fl) <-
+            (if expired then stage_finish_expired else stage_finish)
+            lor (bits land flag_duplicate);
+          match t.trampoline with
+          | Some cb ->
+              ignore (Engine.schedule_call t.engine ~owner:dst ~at:finish cb fl)
+          | None -> assert false
+        end)
   end
   else begin
     (* stage_finish / stage_finish_expired *)
@@ -267,6 +321,13 @@ let trampoline t fl =
       (* The receiver is inside a crash window when ingress completes:
          the message reached a dead node. *)
       Stats.record_drop p.p_stats ~node:dst ~label;
+      release_flight p fl
+    end
+    else if quiet_now t dst then begin
+      (* The receiver rotated out while ingress was in progress: the
+         bytes were spent (the attacker's budget is wasted on a quiet
+         target) but nothing is served. *)
+      Stats.record_reject p.p_stats ~node:dst ~label;
       release_flight p fl
     end
     else begin
@@ -337,6 +398,8 @@ let create ~engine ~topology ~bits_per_sec () =
       outboxes = Array.init (s * s) (fun _ -> Queue.create ());
       interned = [];
       fault = None;
+      admission = None;
+      rotation = [||];
       handler = None;
       trampoline = None;
       obs_on = false;
@@ -396,6 +459,11 @@ let send_msg t ~src ~dst ~size ~label ~deadline msg =
     (* A down node transmits nothing: no bytes charged, the message
        simply never existed on the wire. *)
     Stats.record_drop p.p_stats ~node:dst ~label
+  else if quiet_now t src then
+    (* A rotated-out authority goes quiet: nothing transmitted, no
+       bytes charged, accounted as a defense reject rather than a
+       fault drop. *)
+    Stats.record_reject p.p_stats ~node:dst ~label
   else if src = dst then
     (* Local delivery: no bandwidth cost, but still asynchronous so
        handlers never reenter the caller. *)
@@ -472,6 +540,8 @@ let reset t =
   Array.iter Queue.clear t.outboxes;
   Array.iter Nic.reset t.nics;
   t.fault <- None;
+  t.admission <- None;
+  t.rotation <- [||];
   t.handler <- None;
   t.obs_on <- false;
   Array.iter (fun row -> Array.iter Obs.Metrics.histogram_reset row) t.lat

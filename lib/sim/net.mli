@@ -76,6 +76,31 @@ val set_fault : 'm t -> Fault.t -> unit
 val fault : 'm t -> Fault.t option
 (** The installed injector, if any. *)
 
+val set_defense : 'm t -> Defense.Plan.t -> unit
+(** Install a defense plan through the same interposition seam as
+    {!set_fault}; install before the first send, alongside the fault
+    injector (an arena {!reset} detaches both).  Semantics per
+    message:
+    {ul
+    {- {b admission} ({!Defense.Admission}): checked at the delivery
+       stage, {e before} ingress bandwidth is reserved on the
+       receiver's NIC.  Over-budget messages queue up to the bounded
+       backlog (delayed to their token's refill instant, FIFO per
+       (receiver, sender) pair), further messages are turned away
+       without costing the receiver bandwidth.  Self-sends are
+       exempt — they never touch a NIC.}
+    {- {b rotation} ({!Defense.Rotation}): a rotated-out node's sends
+       are suppressed at send time (no bytes charged); messages
+       completing ingress at a rotated-out node are discarded after
+       the bytes were spent (the sender's budget is wasted on a quiet
+       target).}}
+    Every turned-away message is counted via {!Stats.record_reject}
+    under the message's label — never mixed into the fault-drop
+    counters.  Verdicts are pure arithmetic on state touched only by
+    the owning node's shard, so runs stay bit-identical at any shard
+    count.  Raises [Invalid_argument] on a plan invalid for this
+    network's size. *)
+
 val send :
   'm t ->
   src:int ->
@@ -109,8 +134,8 @@ val reset : 'm t -> unit
 (** [reset t] empties the network for reuse in a fresh run: statistics
     zeroed (interned labels keep their ids), flight pools and
     cross-shard mailboxes cleared, NIC rate schedules and reservations
-    dropped, fault injector and delivery handler detached, telemetry
-    disabled with its histograms zeroed.  Pools, mailboxes and
+    dropped, fault injector, defenses and delivery handler detached,
+    telemetry disabled with its histograms zeroed.  Pools, mailboxes and
     histogram arrays keep their high-water capacity; the engine wiring
     (trampoline callback, round hook) stays installed.  Callers must
     {!set_handler} again before the next run and reset the engine

@@ -9,6 +9,11 @@ type t = {
   messages_sent : int array;
   mutable dropped : int;
   dropped_at : int array; (* per intended recipient *)
+  (* Defense rejects (admission turn-aways, rotation quiet periods)
+     are counted apart from [dropped] so verdicts never conflate what
+     a defense did with what an injected fault did. *)
+  mutable rejected : int;
+  rejected_at : int array; (* per intended recipient *)
   (* Interned labels: dense ids into parallel arrays.  The per-send
      accounting is then one array add — the old string-keyed [Hashtbl]
      probe (hashing the label on every send) is paid once, at
@@ -17,6 +22,7 @@ type t = {
   mutable label_names : string array;
   mutable label_counts : int array;
   mutable label_drops : int array; (* dropped messages per label *)
+  mutable label_rejected : int array; (* defense-rejected messages per label *)
   mutable label_used : bool array; (* recorded at least once since reset *)
   mutable n_labels : int;
 }
@@ -28,10 +34,13 @@ let create ~n =
     messages_sent = Array.make n 0;
     dropped = 0;
     dropped_at = Array.make n 0;
+    rejected = 0;
+    rejected_at = Array.make n 0;
     intern_table = Hashtbl.create 16;
     label_names = [||];
     label_counts = [||];
     label_drops = [||];
+    label_rejected = [||];
     label_used = [||];
     n_labels = 0;
   }
@@ -47,20 +56,24 @@ let intern t name =
         let names = Array.make fresh "" in
         let counts = Array.make fresh 0 in
         let drops = Array.make fresh 0 in
+        let rejects = Array.make fresh 0 in
         let used = Array.make fresh false in
         Array.blit t.label_names 0 names 0 t.n_labels;
         Array.blit t.label_counts 0 counts 0 t.n_labels;
         Array.blit t.label_drops 0 drops 0 t.n_labels;
+        Array.blit t.label_rejected 0 rejects 0 t.n_labels;
         Array.blit t.label_used 0 used 0 t.n_labels;
         t.label_names <- names;
         t.label_counts <- counts;
         t.label_drops <- drops;
+        t.label_rejected <- rejects;
         t.label_used <- used
       end;
       let id = t.n_labels in
       t.label_names.(id) <- name;
       t.label_counts.(id) <- 0;
       t.label_drops.(id) <- 0;
+      t.label_rejected.(id) <- 0;
       t.label_used.(id) <- false;
       t.n_labels <- t.n_labels + 1;
       Hashtbl.replace t.intern_table name id;
@@ -95,11 +108,24 @@ let record_drop t ~node ~label =
 
 let record_dropped t = record_drop t ~node:(-1) ~label:no_label
 
+(* Allocation-free reject accounting, mirroring [record_drop]: [node]
+   is the intended recipient (or [-1]), [label] an interned id or
+   [no_label]. *)
+let record_reject t ~node ~label =
+  t.rejected <- t.rejected + 1;
+  if node >= 0 then t.rejected_at.(node) <- t.rejected_at.(node) + 1;
+  if label >= 0 then begin
+    t.label_rejected.(label) <- t.label_rejected.(label) + 1;
+    t.label_used.(label) <- true
+  end
+
 let bytes_sent t node = t.bytes_sent.(node)
 let bytes_received t node = t.bytes_received.(node)
 let messages_sent t node = t.messages_sent.(node)
 let dropped t = t.dropped
 let dropped_at t node = t.dropped_at.(node)
+let rejected t = t.rejected
+let rejected_at t node = t.rejected_at.(node)
 let total_bytes_sent t = Array.fold_left ( + ) 0 t.bytes_sent
 
 let label_bytes t name =
@@ -110,6 +136,11 @@ let label_bytes t name =
 let label_dropped t name =
   match Hashtbl.find_opt t.intern_table name with
   | Some id -> t.label_drops.(id)
+  | None -> 0
+
+let label_rejected t name =
+  match Hashtbl.find_opt t.intern_table name with
+  | Some id -> t.label_rejected.(id)
   | None -> 0
 
 let labels t =
@@ -129,21 +160,32 @@ let dropped_labels t =
   done;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
+let rejected_labels t =
+  let acc = ref [] in
+  for id = t.n_labels - 1 downto 0 do
+    if t.label_rejected.(id) > 0 then
+      acc := (t.label_names.(id), t.label_rejected.(id)) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
 let merge_into ~into src =
   if n into <> n src then invalid_arg "Stats.merge_into: node-count mismatch";
   for node = 0 to n into - 1 do
     into.bytes_sent.(node) <- into.bytes_sent.(node) + src.bytes_sent.(node);
     into.bytes_received.(node) <- into.bytes_received.(node) + src.bytes_received.(node);
     into.messages_sent.(node) <- into.messages_sent.(node) + src.messages_sent.(node);
-    into.dropped_at.(node) <- into.dropped_at.(node) + src.dropped_at.(node)
+    into.dropped_at.(node) <- into.dropped_at.(node) + src.dropped_at.(node);
+    into.rejected_at.(node) <- into.rejected_at.(node) + src.rejected_at.(node)
   done;
   into.dropped <- into.dropped + src.dropped;
+  into.rejected <- into.rejected + src.rejected;
   (* Labels merge by name, so the two sides' intern orders need not
      match; [into] interns any label it has not seen. *)
   for id = 0 to src.n_labels - 1 do
     let tid = intern into src.label_names.(id) in
     into.label_counts.(tid) <- into.label_counts.(tid) + src.label_counts.(id);
     into.label_drops.(tid) <- into.label_drops.(tid) + src.label_drops.(id);
+    into.label_rejected.(tid) <- into.label_rejected.(tid) + src.label_rejected.(id);
     if src.label_used.(id) then into.label_used.(tid) <- true
   done
 
@@ -153,7 +195,10 @@ let reset t =
   Array.fill t.messages_sent 0 (n t) 0;
   t.dropped <- 0;
   Array.fill t.dropped_at 0 (n t) 0;
+  t.rejected <- 0;
+  Array.fill t.rejected_at 0 (n t) 0;
   (* Interned ids stay valid across reset; only the counts clear. *)
   Array.fill t.label_counts 0 t.n_labels 0;
   Array.fill t.label_drops 0 t.n_labels 0;
+  Array.fill t.label_rejected 0 t.n_labels 0;
   Array.fill t.label_used 0 t.n_labels false

@@ -46,6 +46,12 @@ val record_drop : t -> node:int -> label:label -> unit
 val record_dropped : t -> unit
 (** [record_drop] with no recipient and no label. *)
 
+val record_reject : t -> node:int -> label:label -> unit
+(** Count one message turned away by a defense (admission control,
+    rotation quiet period) — deliberately separate from
+    {!record_drop}, so verdicts can tell defense behavior from
+    injected faults.  Same conventions as {!record_drop}. *)
+
 val bytes_sent : t -> int -> int
 val bytes_received : t -> int -> int
 val messages_sent : t -> int -> int
@@ -56,6 +62,13 @@ val dropped : t -> int
 
 val dropped_at : t -> int -> int
 (** Messages lost on their way to a node. *)
+
+val rejected : t -> int
+(** Total messages turned away by a defense ([0] when no defense is
+    installed); never included in {!dropped}. *)
+
+val rejected_at : t -> int -> int
+(** Defense-rejected messages addressed to a node. *)
 
 val total_bytes_sent : t -> int
 (** Sum over all nodes; the paper's communication-complexity metric. *)
@@ -74,10 +87,19 @@ val dropped_labels : t -> (string * int) list
 (** Labels with at least one dropped message since the last reset,
     with their drop counts, sorted by label. *)
 
+val label_rejected : t -> string -> int
+(** Messages defense-rejected under a label ([0] for unknown
+    labels). *)
+
+val rejected_labels : t -> (string * int) list
+(** Labels with at least one defense-rejected message since the last
+    reset, with their reject counts, sorted by label. *)
+
 val merge_into : into:t -> t -> unit
 (** [merge_into ~into src] adds every counter of [src] into [into]:
-    per-node arrays, the drop total, and per-label counts/drops/used
-    flags, matching labels by name (interning into [into] as needed).
+    per-node arrays, the drop and reject totals, and per-label
+    counts/drops/rejects/used flags, matching labels by name
+    (interning into [into] as needed).
     The sharded engine merges per-shard instances this way at run end;
     merging shards that partition the traffic equals recording it all
     on one instance.  Raises [Invalid_argument] if the node counts

@@ -546,7 +546,13 @@ let test_scenario_errors () =
   ignore (expect_error "clients 0");
   ignore (expect_error "caches 0");
   ignore (expect_error "halt -5");
-  ignore (expect_error "diffs maybe")
+  ignore (expect_error "diffs maybe");
+  ignore (expect_error "defense fortress" (* unknown preset *));
+  ignore (expect_error "defense admission:fast:8:16");
+  ignore (expect_error "defense admission:0.5:8" (* missing backlog *));
+  ignore (expect_error "defense rotate:two:450");
+  ignore (expect_error "defense rotate:2" (* missing epoch *));
+  ignore (expect_error "defense rotate:2:450:s:extra")
 
 let test_scenario_runs () =
   match Torpartial.Scenario.parse "protocol ours\nrelays 100\nseed s\n" with
@@ -579,6 +585,44 @@ let test_scenario_distribution_directives () =
           checkb "scenario with distribution runs" true report.R.success;
           checkb "distribution outcome attached" true (report.R.distribution <> None))
 
+let test_scenario_defense_directives () =
+  (* A preset name, then member-wise overrides: the custom admission
+     line replaces the preset's bucket, the rotate line composes with
+     it.  The seedless rotate form falls back to the committed seed. *)
+  let text =
+    "protocol ours\n\
+     relays 100\n\
+     seed defended\n\
+     defense both\n\
+     defense admission:0.5:8:16\n\
+     defense rotate:2:450\n"
+  in
+  match Torpartial.Scenario.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok sc -> (
+      match sc.Torpartial.Scenario.env.R.defense with
+      | None -> Alcotest.fail "expected a defense plan"
+      | Some plan ->
+          (match plan.Defense.Plan.admission with
+          | None -> Alcotest.fail "expected admission"
+          | Some a ->
+              Alcotest.(check (float 0.)) "rate" 0.5 a.Defense.Admission.rate;
+              checki "burst" 8 a.Defense.Admission.burst;
+              checki "backlog" 16 a.Defense.Admission.backlog);
+          (match plan.Defense.Plan.rotation with
+          | None -> Alcotest.fail "expected rotation"
+          | Some r ->
+              checki "out" 2 r.Defense.Rotation.out;
+              Alcotest.(check (float 0.)) "epoch" 450. r.Defense.Rotation.epoch;
+              checkb "default seed" true
+                (r.Defense.Rotation.seed = Defense.Rotation.default.Defense.Rotation.seed));
+          let report = Torpartial.Scenario.run sc in
+          checkb "defended scenario runs" true report.R.success);
+  (* [defense none] on its own leaves the spec undefended. *)
+  match Torpartial.Scenario.parse "protocol ours\nrelays 100\ndefense none\n" with
+  | Error e -> Alcotest.fail e
+  | Ok sc -> checkb "defense none is undefended" true (sc.Torpartial.Scenario.env.R.defense = None)
+
 let suite =
   [
     ("icps checkers", `Quick, test_icps_checkers);
@@ -608,6 +652,7 @@ let suite =
     ("scenario: errors", `Quick, test_scenario_errors);
     ("scenario: runs", `Quick, test_scenario_runs);
     ("scenario: distribution directives", `Quick, test_scenario_distribution_directives);
+    ("scenario: defense directives", `Quick, test_scenario_defense_directives);
     ("distribution: steady-state diff savings >= 5x", `Slow,
       test_distribution_steady_state_savings);
     ("distribution: skipped on failed runs", `Slow, test_distribution_skipped_on_failure);

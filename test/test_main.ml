@@ -9,6 +9,7 @@ let () =
       ("protocols", Test_protocols.suite);
       ("core", Test_core.suite);
       ("exec", Test_exec.suite);
+      ("defense", Test_defense.suite);
       ("shards", Test_shards.suite);
       ("obs", Test_obs.suite);
       ("client", Test_client.suite);
